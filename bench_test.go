@@ -1,0 +1,461 @@
+// Package u1 holds the repository-level benchmark harness: one benchmark per
+// paper table/figure (the per-experiment index of DESIGN.md), each regenerating
+// its result from a shared synthetic trace and reporting the headline number
+// as a custom metric, plus micro-benchmarks of the hot substrate paths.
+//
+// Scale knobs: U1_BENCH_USERS and U1_BENCH_DAYS environment variables
+// override the default 800-user, 10-day trace.
+package u1
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"u1/internal/analysis"
+	"u1/internal/blob"
+	"u1/internal/client"
+	"u1/internal/metadata"
+	"u1/internal/protocol"
+	"u1/internal/server"
+	"u1/internal/sim"
+	"u1/internal/trace"
+	"u1/internal/wire"
+	"u1/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchRaw   *analysis.Trace
+	benchClean *analysis.Trace
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// benchTrace lazily generates the shared experiment trace.
+func benchTrace(b *testing.B) (*analysis.Trace, *analysis.Trace) {
+	b.Helper()
+	benchOnce.Do(func() {
+		users := envInt("U1_BENCH_USERS", 800)
+		days := envInt("U1_BENCH_DAYS", 10)
+		cluster := server.NewCluster(server.Config{
+			Seed: 2, AuthFailureRate: 0.0276, DeltaLogLimit: 96,
+		})
+		col := trace.NewCollector(trace.Config{
+			Start: workload.PaperStart, Days: days,
+			Shards: cluster.Store.NumShards(), Seed: 2,
+		})
+		cluster.AddAPIObserver(col.APIObserver())
+		cluster.AddRPCObserver(col.RPCObserver())
+		eng := sim.New(workload.PaperStart)
+		workload.New(workload.Config{
+			Users: users, Days: days, Seed: 2,
+			Attacks: []workload.Attack{
+				{Day: 2, Hour: 13, Duration: 2 * time.Hour, APIFactor: 60, AuthFactor: 10},
+			},
+		}, cluster, eng).Run()
+		benchRaw = analysis.FromCollector(col, workload.PaperStart, days)
+		benchClean = benchRaw.Sanitize()
+	})
+	return benchRaw, benchClean
+}
+
+// --- One benchmark per experiment (DESIGN.md index) ---
+
+func BenchmarkTable1Findings(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := analysis.AnalyzeFindings(clean)
+		if len(f.Rows) == 0 {
+			b.Fatal("no findings")
+		}
+	}
+}
+
+func BenchmarkTable3Summary(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var s analysis.Summary
+	for i := 0; i < b.N; i++ {
+		s = analysis.AnalyzeSummary(clean)
+	}
+	b.ReportMetric(float64(s.Transfers), "transfers")
+	b.ReportMetric(100*s.UpdateByteFraction(), "update_byte_%")
+}
+
+func BenchmarkFig2aTraffic(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var tf analysis.Traffic
+	for i := 0; i < b.N; i++ {
+		tf = analysis.AnalyzeTraffic(raw)
+	}
+	b.ReportMetric(tf.DayNightRatio, "day_night_x")
+}
+
+func BenchmarkFig2bSizeCategories(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var tf analysis.Traffic
+	for i := 0; i < b.N; i++ {
+		tf = analysis.AnalyzeTraffic(raw)
+	}
+	b.ReportMetric(100*tf.UpBuckets.WeightFractions()[4], "gt25MB_upbytes_%")
+	b.ReportMetric(100*tf.UpBuckets.CountFractions()[0], "lt05MB_upops_%")
+}
+
+func BenchmarkFig2cRWRatio(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var rw analysis.RWRatio
+	for i := 0; i < b.N; i++ {
+		rw = analysis.AnalyzeRWRatio(raw)
+	}
+	b.ReportMetric(rw.Box.Median, "rw_median")
+}
+
+func BenchmarkFig3aAfterWrite(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var d analysis.Dependencies
+	for i := 0; i < b.N; i++ {
+		d = analysis.AnalyzeDependencies(clean)
+	}
+	b.ReportMetric(100*d.WAWFrac, "waw_%")
+	b.ReportMetric(100*d.WAWUnderHour, "waw_lt1h_%")
+}
+
+func BenchmarkFig3bAfterRead(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var d analysis.Dependencies
+	for i := 0; i < b.N; i++ {
+		d = analysis.AnalyzeDependencies(clean)
+	}
+	b.ReportMetric(100*d.RARFrac, "rar_%")
+}
+
+func BenchmarkFig3cLifetime(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var l analysis.Lifetime
+	for i := 0; i < b.N; i++ {
+		l = analysis.AnalyzeLifetime(clean)
+	}
+	b.ReportMetric(100*l.FileDeadFrac, "files_dead_%")
+}
+
+func BenchmarkFig4aDedup(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var d analysis.Dedup
+	for i := 0; i < b.N; i++ {
+		d = analysis.AnalyzeDedup(clean)
+	}
+	b.ReportMetric(d.Ratio, "dedup_ratio")
+}
+
+func BenchmarkFig4bSizes(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var s analysis.Sizes
+	for i := 0; i < b.N; i++ {
+		s = analysis.AnalyzeSizes(clean)
+	}
+	b.ReportMetric(100*s.Sub1MBShare, "lt1MB_%")
+}
+
+func BenchmarkFig4cTypes(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ty := analysis.AnalyzeTypes(clean)
+		if len(ty.Categories) != 7 {
+			b.Fatal("bad categories")
+		}
+	}
+}
+
+func BenchmarkFig5DDoS(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var d analysis.DDoS
+	for i := 0; i < b.N; i++ {
+		d = analysis.AnalyzeDDoS(raw)
+	}
+	b.ReportMetric(float64(len(d.Attacks)), "attacks")
+}
+
+func BenchmarkFig6OnlineActive(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var oa analysis.OnlineActive
+	for i := 0; i < b.N; i++ {
+		oa = analysis.AnalyzeOnlineActive(clean)
+	}
+	b.ReportMetric(100*oa.MaxActiveShare, "max_active_%")
+}
+
+func BenchmarkFig7aOpFrequency(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		of := analysis.AnalyzeOpFrequency(clean)
+		if len(of.Ops) == 0 {
+			b.Fatal("no ops")
+		}
+	}
+}
+
+func BenchmarkFig7bUserTraffic(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var ut analysis.UserTraffic
+	for i := 0; i < b.N; i++ {
+		ut = analysis.AnalyzeUserTraffic(clean)
+	}
+	b.ReportMetric(100*ut.UploadedShare, "uploaded_share_%")
+}
+
+func BenchmarkFig7cGini(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var ut analysis.UserTraffic
+	for i := 0; i < b.N; i++ {
+		ut = analysis.AnalyzeUserTraffic(clean)
+	}
+	b.ReportMetric(ut.GiniUp, "gini_up")
+	b.ReportMetric(100*ut.Top1Share, "top1_%")
+}
+
+func BenchmarkFig8Transitions(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var tr analysis.Transitions
+	for i := 0; i < b.N; i++ {
+		tr = analysis.AnalyzeTransitions(clean)
+	}
+	b.ReportMetric(tr.TransferSelfLoop, "transfer_selfloop")
+}
+
+func BenchmarkFig9Burstiness(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var bu analysis.Burstiness
+	for i := 0; i < b.N; i++ {
+		bu = analysis.AnalyzeBurstiness(clean)
+	}
+	b.ReportMetric(bu.UploadFit.Alpha, "upload_alpha")
+}
+
+func BenchmarkFig10Volumes(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var v analysis.Volumes
+	for i := 0; i < b.N; i++ {
+		v = analysis.AnalyzeVolumes(clean)
+	}
+	b.ReportMetric(v.Pearson, "pearson")
+}
+
+func BenchmarkFig11UDFShares(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var v analysis.Volumes
+	for i := 0; i < b.N; i++ {
+		v = analysis.AnalyzeVolumes(clean)
+	}
+	b.ReportMetric(100*v.UDFShare, "udf_share_%")
+}
+
+func BenchmarkFig12RPCTimes(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var rp analysis.RPCPerf
+	for i := 0; i < b.N; i++ {
+		rp = analysis.AnalyzeRPCPerf(raw)
+	}
+	b.ReportMetric(100*rp.MaxTail, "max_tail_%")
+}
+
+func BenchmarkFig13RPCScatter(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var rp analysis.RPCPerf
+	for i := 0; i < b.N; i++ {
+		rp = analysis.AnalyzeRPCPerf(raw)
+	}
+	b.ReportMetric(rp.CascadeToReadRatio, "cascade_read_x")
+}
+
+func BenchmarkFig14LoadBalance(b *testing.B) {
+	raw, _ := benchTrace(b)
+	b.ResetTimer()
+	var lb analysis.LoadBalance
+	for i := 0; i < b.N; i++ {
+		lb = analysis.AnalyzeLoadBalance(raw)
+	}
+	b.ReportMetric(lb.ShardMinuteCV, "shard_minute_cv")
+	b.ReportMetric(100*lb.ShardLongTermCV, "shard_longterm_cv_%")
+}
+
+func BenchmarkFig15AuthActivity(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var se analysis.Sessions
+	for i := 0; i < b.N; i++ {
+		se = analysis.AnalyzeSessions(clean)
+	}
+	b.ReportMetric(100*se.AuthFailShare, "auth_fail_%")
+}
+
+func BenchmarkFig16Sessions(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var se analysis.Sessions
+	for i := 0; i < b.N; i++ {
+		se = analysis.AnalyzeSessions(clean)
+	}
+	b.ReportMetric(100*se.Sub1s, "sub1s_%")
+	b.ReportMetric(100*se.ActiveShare, "active_%")
+}
+
+// BenchmarkWhatIf regenerates the §9 improvement estimates.
+func BenchmarkWhatIf(b *testing.B) {
+	_, clean := benchTrace(b)
+	b.ResetTimer()
+	var w analysis.WhatIf
+	for i := 0; i < b.N; i++ {
+		w = analysis.AnalyzeWhatIf(clean)
+	}
+	b.ReportMetric(100*w.CacheHitRate, "cache_hit_%")
+}
+
+// BenchmarkTraceGeneration measures the end-to-end simulator throughput:
+// events (API ops, RPCs, session machinery) per wall second.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cluster := server.NewCluster(server.Config{Seed: int64(i) + 10})
+		eng := sim.New(workload.PaperStart)
+		g := workload.New(workload.Config{
+			Users: 150, Days: 3, Seed: int64(i) + 10,
+			Attacks: []workload.Attack{},
+		}, cluster, eng)
+		g.Run()
+		b.ReportMetric(float64(eng.Executed()), "events")
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkWireRequestRoundTrip(b *testing.B) {
+	req := &protocol.Request{
+		Op: protocol.OpPutContent, Volume: 3, Node: 99, Name: "song.mp3",
+		Hash: protocol.HashBytes([]byte("x")), Size: 4 << 20,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := req.Marshal()
+		if _, err := protocol.UnmarshalRequest(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireFrame(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xAB}, 1024)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.WriteFrame(&buf, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetadataMakeFile(b *testing.B) {
+	store := metadata.New(metadata.Config{Shards: 10})
+	root, err := store.CreateUser(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.MakeFile(1, root.ID, 0, fmt.Sprintf("f%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetadataGetDelta(b *testing.B) {
+	store := metadata.New(metadata.Config{Shards: 10})
+	root, _ := store.CreateUser(1)
+	for i := 0; i < 256; i++ {
+		store.MakeFile(1, root.ID, 0, fmt.Sprintf("f%d", i)) //nolint:errcheck
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.GetDelta(1, root.ID, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobMultipart(b *testing.B) {
+	s := blob.New(blob.Config{})
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := s.CreateMultipartUpload(fmt.Sprintf("k%d", i), now)
+		for p := 1; p <= 4; p++ {
+			if err := s.UploadPartSized(id, p, 5<<20); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.CompleteMultipartUpload(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndUpload measures a full client upload through the
+// in-process stack (auth, make, dedup probe, uploadjob, parts, content).
+func BenchmarkEndToEndUpload(b *testing.B) {
+	cluster := server.NewCluster(server.Config{Seed: 99})
+	token, err := cluster.Auth.Issue(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := workload.PaperStart
+	cli := client.New(client.NewDirectTransport(cluster.LeastLoaded, func() time.Time { return now }))
+	if err := cli.Connect(token); err != nil {
+		b.Fatal(err)
+	}
+	root, _ := cli.RootVolume()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := protocol.HashBytes([]byte(fmt.Sprintf("content-%d", i)))
+		if _, _, err := cli.UploadSized(root, 0, fmt.Sprintf("f%d.txt", i), h, 64<<10, 40<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command u1analyze reproduces the paper's figures and tables from a trace.
+// It either reads logfiles written by u1sim (-trace DIR) or generates a
+// fresh trace in memory (-users/-days), then prints the requested analyses.
+//
+// Usage:
+//
+//	u1analyze -users 2000 -days 30 -all
+//	u1analyze -trace ./trace -days 30 -fig 2a -fig 7c -table 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"u1/internal/analysis"
+	"u1/internal/server"
+	"u1/internal/sim"
+	"u1/internal/trace"
+	"u1/internal/workload"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("u1analyze: ")
+
+	traceDir := flag.String("trace", "", "read logfiles from this directory instead of generating")
+	users := flag.Int("users", 1000, "population size when generating")
+	days := flag.Int("days", 14, "trace window in days")
+	seed := flag.Int64("seed", 1, "random seed when generating")
+	all := flag.Bool("all", false, "print every figure and table")
+	var figs, tables listFlag
+	flag.Var(&figs, "fig", "figure to print (2a 2b 2c 3a 3b 3c 4a 4b 4c 5 6 7a 7b 7c 8 9 10 11 12 13 14 15 16); repeatable")
+	flag.Var(&tables, "table", "table to print (1 3); repeatable")
+	flag.Parse()
+
+	var t *analysis.Trace
+	if *traceDir != "" {
+		ds, err := trace.ReadCSV(*traceDir)
+		if err != nil {
+			log.Fatalf("reading trace: %v", err)
+		}
+		fmt.Printf("read %d records (%d unparseable lines skipped)\n", len(ds.Records), ds.BadLines)
+		t = analysis.FromDataset(ds, workload.PaperStart, *days, 10)
+	} else {
+		cluster := server.NewCluster(server.Config{Seed: *seed, AuthFailureRate: 0.0276})
+		col := trace.NewCollector(trace.Config{
+			Start: workload.PaperStart, Days: *days,
+			Shards: cluster.Store.NumShards(), Seed: *seed,
+		})
+		cluster.AddAPIObserver(col.APIObserver())
+		cluster.AddRPCObserver(col.RPCObserver())
+		eng := sim.New(workload.PaperStart)
+		workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed}, cluster, eng).Run()
+		t = analysis.FromCollector(col, workload.PaperStart, *days)
+	}
+	clean := t.Sanitize()
+
+	want := func(kind, id string) bool {
+		if *all {
+			return true
+		}
+		list := figs
+		if kind == "table" {
+			list = tables
+		}
+		for _, v := range list {
+			if v == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Service-wide analyses run on the raw trace; user-behavior analyses on
+	// the sanitized one (§4.1 artifact removal).
+	if want("table", "3") {
+		fmt.Println(analysis.AnalyzeSummary(clean).Render())
+	}
+	if want("fig", "2a") || want("fig", "2b") {
+		fmt.Println(analysis.AnalyzeTraffic(t).Render())
+	}
+	if want("fig", "2c") {
+		fmt.Println(analysis.AnalyzeRWRatio(t).Render())
+	}
+	if want("fig", "3a") || want("fig", "3b") {
+		fmt.Println(analysis.AnalyzeDependencies(clean).Render())
+	}
+	if want("fig", "3c") {
+		fmt.Println(analysis.AnalyzeLifetime(clean).Render())
+	}
+	if want("fig", "4a") {
+		fmt.Println(analysis.AnalyzeDedup(clean).Render())
+	}
+	if want("fig", "4b") {
+		fmt.Println(analysis.AnalyzeSizes(clean).Render())
+	}
+	if want("fig", "4c") {
+		fmt.Println(analysis.AnalyzeTypes(clean).Render())
+	}
+	if want("fig", "5") {
+		fmt.Println(analysis.AnalyzeDDoS(t).Render())
+	}
+	if want("fig", "6") {
+		fmt.Println(analysis.AnalyzeOnlineActive(clean).Render())
+	}
+	if want("fig", "7a") {
+		fmt.Println(analysis.AnalyzeOpFrequency(clean).Render())
+	}
+	if want("fig", "7b") || want("fig", "7c") {
+		fmt.Println(analysis.AnalyzeUserTraffic(clean).Render())
+	}
+	if want("fig", "8") {
+		fmt.Println(analysis.AnalyzeTransitions(clean).Render())
+	}
+	if want("fig", "9") {
+		fmt.Println(analysis.AnalyzeBurstiness(clean).Render())
+	}
+	if want("fig", "10") || want("fig", "11") {
+		fmt.Println(analysis.AnalyzeVolumes(clean).Render())
+	}
+	if want("fig", "12") || want("fig", "13") {
+		fmt.Println(analysis.AnalyzeRPCPerf(t).Render())
+	}
+	if want("fig", "14") {
+		fmt.Println(analysis.AnalyzeLoadBalance(t).Render())
+	}
+	if want("fig", "15") || want("fig", "16") {
+		fmt.Println(analysis.AnalyzeSessions(clean).Render())
+	}
+	if want("table", "1") {
+		fmt.Println(analysis.AnalyzeFindings(clean).Render())
+	}
+	if *all || want("fig", "whatif") {
+		fmt.Println(analysis.AnalyzeWhatIf(clean).Render())
+	}
+}

@@ -1,0 +1,66 @@
+// Command u1d runs the U1 back-end over real TCP: six API server machines
+// behind a least-loaded gateway, the sharded metadata store, the S3-like
+// data store, the auth service and the notification broker — the full Fig. 1
+// deployment in one process. Clients (cmd/u1cli) connect to the gateway.
+//
+// Usage:
+//
+//	u1d -gateway 127.0.0.1:7001 -issue 3
+//
+// -issue pre-registers N demo users and prints their tokens for u1cli.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"u1/internal/protocol"
+	"u1/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("u1d: ")
+
+	gateway := flag.String("gateway", "127.0.0.1:7001", "gateway listen address")
+	machines := flag.Int("machines", 6, "number of API server machines")
+	procs := flag.Int("procs", 12, "API processes per machine")
+	issue := flag.Int("issue", 3, "pre-issue tokens for this many demo users")
+	realSleep := flag.Bool("realistic-latency", false, "RPCs take their sampled service time in wall time")
+	flag.Parse()
+
+	names := server.DefaultMachines
+	if *machines < len(names) {
+		names = names[:*machines]
+	}
+	cluster := server.NewCluster(server.Config{
+		Machines:        names,
+		ProcsPerMachine: *procs,
+		InlineData:      true,
+		RealSleep:       *realSleep,
+		AuthFailureRate: 0, // interactive use; no injected failures
+	})
+	tc, err := cluster.ListenAndServe(*gateway)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tc.Close()
+
+	fmt.Printf("gateway listening on %s (%d machines × %d procs)\n", tc.GateAddr, len(names), *procs)
+	for i := 1; i <= *issue; i++ {
+		token, err := cluster.Auth.Issue(protocol.UserID(i))
+		if err != nil {
+			log.Fatalf("issuing token: %v", err)
+		}
+		fmt.Printf("user %d token: %s\n", i, token)
+	}
+	fmt.Println("ready; ctrl-c to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nshutting down")
+}

@@ -1,0 +1,67 @@
+// Command u1sim generates a synthetic U1 back-end trace: it boots the full
+// cluster in-process, replays a calibrated user population against it on a
+// virtual clock, and writes the resulting logfiles in the paper's
+// production-<machine>-<proc>-<date> convention.
+//
+// Usage:
+//
+//	u1sim -users 2000 -days 30 -out ./trace [-seed 1] [-no-attacks] [-rpc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"u1/internal/server"
+	"u1/internal/sim"
+	"u1/internal/trace"
+	"u1/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("u1sim: ")
+
+	users := flag.Int("users", 2000, "user population size")
+	days := flag.Int("days", 30, "trace window in days")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "trace", "output directory for logfiles")
+	noAttacks := flag.Bool("no-attacks", false, "disable the three DDoS events")
+	keepRPC := flag.Bool("rpc", false, "also write rpc span records (large)")
+	flag.Parse()
+
+	start := time.Now()
+	cluster := server.NewCluster(server.Config{Seed: *seed, AuthFailureRate: 0.0276})
+	col := trace.NewCollector(trace.Config{
+		Start:          workload.PaperStart,
+		Days:           *days,
+		Shards:         cluster.Store.NumShards(),
+		Seed:           *seed,
+		KeepRPCRecords: *keepRPC,
+	})
+	cluster.AddAPIObserver(col.APIObserver())
+	cluster.AddRPCObserver(col.RPCObserver())
+
+	eng := sim.New(workload.PaperStart)
+	cfg := workload.Config{Users: *users, Days: *days, Seed: *seed}
+	if *noAttacks {
+		cfg.Attacks = []workload.Attack{}
+	}
+	totals := workload.New(cfg, cluster, eng).Run()
+
+	fmt.Printf("generated %d records in %v (%d events)\n", col.Len(), time.Since(start).Round(time.Millisecond), eng.Executed())
+	fmt.Printf("totals: %d sessions, %d uploads, %d downloads, %d deletes, %d attack sessions\n",
+		totals.Sessions, totals.Uploads, totals.Downloads, totals.Deletes, totals.AttackSessions)
+
+	if err := col.WriteCSV(*out); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	entries, err := os.ReadDir(*out)
+	if err != nil {
+		log.Fatalf("listing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %d logfiles to %s\n", len(entries), *out)
+}

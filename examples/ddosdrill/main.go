@@ -1,0 +1,51 @@
+// Ddosdrill: inject the paper's §5.4 attack pattern — one leaked credential,
+// thousands of leeching sessions — and show the detector flagging the window,
+// the operator response (token revocation + content deletion) and the decay
+// of attack traffic afterwards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"u1/internal/analysis"
+	"u1/internal/server"
+	"u1/internal/sim"
+	"u1/internal/trace"
+	"u1/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const users, days = 400, 3
+
+	cluster := server.NewCluster(server.Config{Seed: 11, AuthFailureRate: 0.0276})
+	col := trace.NewCollector(trace.Config{
+		Start: workload.PaperStart, Days: days,
+		Shards: cluster.Store.NumShards(), Seed: 11,
+	})
+	cluster.AddAPIObserver(col.APIObserver())
+	cluster.AddRPCObserver(col.RPCObserver())
+
+	eng := sim.New(workload.PaperStart)
+	totals := workload.New(workload.Config{
+		Users: users, Days: days, Seed: 11,
+		Attacks: []workload.Attack{
+			// A big one, like January 16: API activity two orders of
+			// magnitude above baseline for two hours.
+			{Day: 1, Hour: 13, Duration: 2 * time.Hour, APIFactor: 150, AuthFactor: 12},
+		},
+	}, cluster, eng).Run()
+	fmt.Printf("simulated %d users for %d days; %d attack sessions ran\n\n",
+		users, days, totals.AttackSessions)
+
+	t := analysis.FromCollector(col, workload.PaperStart, days)
+	d := analysis.AnalyzeDDoS(t)
+	fmt.Println(d.Render())
+
+	fmt.Println("operator response: the generator revokes the fraudulent account and")
+	fmt.Println("deletes the shared content at the window end, so activity decays within")
+	fmt.Println("the hour — the manual countermeasure §5.4 describes (and criticizes).")
+	fmt.Printf("\nauth service counters: %+v\n", cluster.Auth.Stats())
+}

@@ -1,0 +1,405 @@
+// Package apiserver implements the U1 API server processes of §3.2/§3.4:
+// they receive commands from desktop clients, authenticate them against the
+// shared SSO service (with a local token cache), translate commands into DAL
+// RPC calls, forward file contents to the data store, and push notifications
+// to simultaneously connected clients — directly for sessions they host, and
+// through the notification broker for sessions on other API servers.
+//
+// The server runs in two harnesses: in-process (the discrete-event simulator
+// calls OpenSession/Handle directly, with virtual timestamps) and over real
+// TCP (see tcp.go), both driving exactly the same dispatch code.
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"u1/internal/auth"
+	"u1/internal/blob"
+	"u1/internal/metadata"
+	"u1/internal/notify"
+	"u1/internal/protocol"
+	"u1/internal/rpc"
+)
+
+// Event is one completed API-level operation, the unit of the paper's
+// storage/session trace records. The trace collector subscribes to these.
+type Event struct {
+	Server   string // API server (machine) name, e.g. "whitecurrant"
+	Proc     int    // server process number on the machine
+	Session  protocol.SessionID
+	User     protocol.UserID
+	Op       protocol.Op
+	Volume   protocol.VolumeID
+	Node     protocol.NodeID
+	Hash     protocol.Hash
+	Size     uint64 // plain (uncompressed) content size for transfers
+	Wire     uint64 // bytes on the wire (post-compression) for transfers
+	Ext      string // lower-cased file extension, the only name residue kept
+	Start    time.Time
+	Duration time.Duration
+	Status   protocol.Status
+	IsUpdate bool // upload replaced existing content (§5.1 file updates)
+	IsDir    bool // the operation targeted a directory (Unlink cascades)
+}
+
+// Observer receives API events.
+type Observer func(Event)
+
+// Pusher delivers unsolicited server→client notifications for one session.
+type Pusher interface {
+	Push(*protocol.Push)
+}
+
+// PusherFunc adapts a function to the Pusher interface.
+type PusherFunc func(*protocol.Push)
+
+// Push implements Pusher.
+func (f PusherFunc) Push(p *protocol.Push) { f(p) }
+
+// Deps are the shared back-end services an API server talks to.
+type Deps struct {
+	RPC      *rpc.Server
+	Auth     *auth.Service
+	Blob     *blob.Store
+	Broker   *notify.Broker
+	Transfer blob.TransferModel
+}
+
+// Config parameterizes one API server machine.
+type Config struct {
+	// Name is the machine name used in trace lognames (e.g. "whitecurrant").
+	Name string
+	// Procs is the number of API processes on the machine (8–16 in
+	// production); sessions are spread across them.
+	Procs int
+	// TokenCacheTTL bounds the per-server token cache (§3.4.1).
+	TokenCacheTTL time.Duration
+	// InlineData makes transfers carry real bytes (TCP mode). When false,
+	// transfers are metered by size only — the simulator's mode.
+	InlineData bool
+	// QueueDepth bounds the notification queue on the broker.
+	QueueDepth int
+}
+
+// Session is one storage-protocol session: one desktop client connection
+// pinned to this server for its lifetime (§3.1.1).
+type Session struct {
+	ID      protocol.SessionID
+	User    protocol.UserID
+	Proc    int
+	Started time.Time
+
+	pusher Pusher
+
+	mu        sync.Mutex
+	downloads map[protocol.NodeID][]byte // staged content for GetPart (TCP mode)
+}
+
+// nextSessionID allocates globally unique session ids across all API servers
+// in the process, as the production back-end did.
+var nextSessionID uint64
+
+// Server is one API server machine.
+type Server struct {
+	cfg  Config
+	deps Deps
+
+	tokens *auth.Cache
+	queue  <-chan notify.Event
+
+	mu       sync.RWMutex
+	sessions map[protocol.SessionID]*Session
+	byUser   map[protocol.UserID]map[protocol.SessionID]*Session
+
+	observers []Observer
+	procOps   []uint64 // per-process API op counters (atomic)
+
+	uploadsMu sync.Mutex
+	uploads   map[protocol.UploadID]*pendingUpload
+}
+
+type pendingUpload struct {
+	job       *metadata.UploadJob
+	session   protocol.SessionID
+	multipart bool
+	mpID      string
+	received  uint64
+	wire      uint64 // client-declared post-compression bytes (§3.3)
+	buf       []byte // assembled parts (InlineData mode only)
+	ext       string
+	plainSize uint64
+}
+
+// New creates an API server and registers it on the broker.
+func New(cfg Config, deps Deps) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "api"
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 8
+	}
+	if cfg.TokenCacheTTL <= 0 {
+		cfg.TokenCacheTTL = 8 * time.Hour
+	}
+	s := &Server{
+		cfg:      cfg,
+		deps:     deps,
+		tokens:   auth.NewCache(cfg.TokenCacheTTL),
+		sessions: make(map[protocol.SessionID]*Session),
+		byUser:   make(map[protocol.UserID]map[protocol.SessionID]*Session),
+		procOps:  make([]uint64, cfg.Procs),
+		uploads:  make(map[protocol.UploadID]*pendingUpload),
+	}
+	if deps.Broker != nil {
+		s.queue = deps.Broker.Register(cfg.Name, cfg.QueueDepth)
+	}
+	return s
+}
+
+// Name returns the server's machine name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// AddObserver registers an API event observer; call before traffic starts.
+func (s *Server) AddObserver(o Observer) { s.observers = append(s.observers, o) }
+
+// ProcOps returns cumulative API operations per server process.
+func (s *Server) ProcOps() []uint64 {
+	out := make([]uint64, len(s.procOps))
+	for i := range out {
+		out[i] = atomic.LoadUint64(&s.procOps[i])
+	}
+	return out
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+func (s *Server) emit(e Event) {
+	for _, o := range s.observers {
+		o(e)
+	}
+}
+
+// OpenSession authenticates a token and establishes a session (the
+// Authenticate API call). The returned response mirrors what goes on the
+// wire; the duration covers the auth RPC. Accounts are provisioned lazily on
+// first successful authentication, which keeps simulation setup out of the
+// trace window.
+func (s *Server) OpenSession(token string, pusher Pusher, now time.Time) (*Session, *protocol.Response, time.Duration) {
+	var user protocol.UserID
+	var err error
+	var dur time.Duration
+
+	if cached, ok := s.tokens.Get(token, now); ok {
+		user = cached
+		// Cached tokens skip the shared auth service entirely; the paper
+		// notes caching exists to avoid overloading it.
+	} else {
+		user, err = s.deps.Auth.Validate(token)
+		dur += s.deps.RPC.ObserveAuth(user, now, err)
+		if err == nil {
+			s.tokens.Put(token, user, now)
+		}
+	}
+
+	sessionID := protocol.SessionID(atomic.AddUint64(&nextSessionID, 1))
+	proc := int(uint64(sessionID)) % s.cfg.Procs
+	atomic.AddUint64(&s.procOps[proc], 1)
+
+	status := protocol.StatusOf(err)
+	ev := Event{
+		Server:   s.cfg.Name,
+		Proc:     proc,
+		Session:  sessionID,
+		User:     user,
+		Op:       protocol.OpAuthenticate,
+		Start:    now,
+		Duration: dur,
+		Status:   status,
+	}
+	if err != nil {
+		s.emit(ev)
+		return nil, &protocol.Response{Status: status}, dur
+	}
+
+	if _, err := s.deps.RPC.Store().CreateUser(user); err != nil {
+		status = protocol.StatusOf(err)
+		ev.Status = status
+		s.emit(ev)
+		return nil, &protocol.Response{Status: status}, dur
+	}
+
+	sess := &Session{
+		ID:        sessionID,
+		User:      user,
+		Proc:      proc,
+		Started:   now,
+		pusher:    pusher,
+		downloads: make(map[protocol.NodeID][]byte),
+	}
+	s.mu.Lock()
+	s.sessions[sess.ID] = sess
+	userSessions, ok := s.byUser[user]
+	if !ok {
+		userSessions = make(map[protocol.SessionID]*Session)
+		s.byUser[user] = userSessions
+	}
+	userSessions[sess.ID] = sess
+	s.mu.Unlock()
+
+	s.emit(ev)
+	return sess, &protocol.Response{Status: protocol.StatusOK, Session: sess.ID, User: user}, dur
+}
+
+// CloseSession terminates a session and emits its session-end event.
+func (s *Server) CloseSession(sess *Session, now time.Time) {
+	if sess == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.ID)
+	if userSessions, ok := s.byUser[sess.User]; ok {
+		delete(userSessions, sess.ID)
+		if len(userSessions) == 0 {
+			delete(s.byUser, sess.User)
+		}
+	}
+	s.mu.Unlock()
+
+	// Abandon any in-flight uploads of this session (the uploadjob rows
+	// stay behind for the weekly GC, as in production).
+	s.uploadsMu.Lock()
+	for id, up := range s.uploads {
+		if up.session == sess.ID {
+			delete(s.uploads, id)
+		}
+	}
+	s.uploadsMu.Unlock()
+
+	atomic.AddUint64(&s.procOps[sess.Proc], 1)
+	s.emit(Event{
+		Server:  s.cfg.Name,
+		Proc:    sess.Proc,
+		Session: sess.ID,
+		User:    sess.User,
+		Op:      protocol.OpCloseSession,
+		Start:   now,
+		Status:  protocol.StatusOK,
+	})
+}
+
+// notifyVolume pushes a volume-change notification to every watcher session,
+// local ones directly and remote ones through the broker (§3.4.2). The
+// originating session is excluded: it made the change.
+func (s *Server) notifyVolume(origin *Session, vol protocol.VolumeID, gen protocol.Generation) {
+	watchers, err := s.deps.RPC.Store().VolumeWatchers(vol)
+	if err != nil {
+		return
+	}
+	push := &protocol.Push{Event: protocol.PushVolumeChanged, Volume: vol, Generation: gen}
+	for _, user := range watchers {
+		s.pushLocal(user, origin.ID, push)
+		if s.deps.Broker != nil {
+			s.deps.Broker.Publish(notify.Event{
+				Kind:           protocol.PushVolumeChanged,
+				User:           user,
+				Volume:         vol,
+				Generation:     gen,
+				Origin:         s.cfg.Name,
+				ExcludeSession: origin.ID,
+			})
+		}
+	}
+}
+
+// notifyShare pushes a share event to the grantee's sessions everywhere.
+func (s *Server) notifyShare(origin *Session, kind protocol.PushEvent, share protocol.ShareInfo) {
+	push := &protocol.Push{Event: kind, Share: share, Volume: share.Volume}
+	s.pushLocal(share.SharedTo, origin.ID, push)
+	if s.deps.Broker != nil {
+		s.deps.Broker.Publish(notify.Event{
+			Kind:           kind,
+			User:           share.SharedTo,
+			Volume:         share.Volume,
+			Share:          share,
+			Origin:         s.cfg.Name,
+			ExcludeSession: origin.ID,
+		})
+	}
+}
+
+// pushLocal delivers a push to this server's sessions of a user, except the
+// excluded session.
+func (s *Server) pushLocal(user protocol.UserID, exclude protocol.SessionID, push *protocol.Push) {
+	s.mu.RLock()
+	var targets []*Session
+	for id, sess := range s.byUser[user] {
+		if id != exclude {
+			targets = append(targets, sess)
+		}
+	}
+	s.mu.RUnlock()
+	for _, sess := range targets {
+		if sess.pusher != nil {
+			sess.pusher.Push(push)
+		}
+	}
+}
+
+// DeliverQueued drains the broker queue, delivering events to local
+// sessions. The TCP server runs this continuously in a goroutine; the
+// simulator pumps it between events. It returns the number delivered.
+func (s *Server) DeliverQueued() int {
+	var n int
+	for {
+		select {
+		case e, ok := <-s.queue:
+			if !ok {
+				return n
+			}
+			push := &protocol.Push{
+				Event:      e.Kind,
+				Volume:     e.Volume,
+				Generation: e.Generation,
+				Share:      e.Share,
+			}
+			s.pushLocal(e.User, e.ExcludeSession, push)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// extOf extracts the lower-cased file extension of a client-declared name;
+// the rest of the name is discarded (the trace is anonymized, §4).
+func extOf(name string) string {
+	e := strings.ToLower(strings.TrimPrefix(path.Ext(name), "."))
+	if len(e) > 10 { // not a real extension, just a dotted name
+		return ""
+	}
+	return e
+}
+
+// errSessionRequired guards ops issued without authentication.
+var errSessionRequired = fmt.Errorf("%w: no session", protocol.ErrAuthFailed)
+
+// fail builds an error response.
+func fail(id uint64, err error) *protocol.Response {
+	return &protocol.Response{ID: id, Status: protocol.StatusOf(err)}
+}
+
+// isTruncatedDelta reports the delta-log truncation condition.
+func isTruncatedDelta(err error) bool {
+	return errors.Is(err, metadata.ErrDeltaTruncated)
+}

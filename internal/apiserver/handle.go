@@ -1,0 +1,400 @@
+package apiserver
+
+import (
+	"sync/atomic"
+	"time"
+
+	"u1/internal/blob"
+	"u1/internal/protocol"
+)
+
+// Handle dispatches one authenticated request. It returns the response and
+// the simulated service time of the operation (the sum of its RPC service
+// times plus data-store transfer estimates for data operations). The caller
+// supplies now — wall clock on the TCP path, virtual clock in the simulator.
+func (s *Server) Handle(sess *Session, req *protocol.Request, now time.Time) (*protocol.Response, time.Duration) {
+	if sess == nil {
+		return fail(req.ID, errSessionRequired), 0
+	}
+	atomic.AddUint64(&s.procOps[sess.Proc], 1)
+
+	var (
+		resp *protocol.Response
+		dur  time.Duration
+		ev   = Event{
+			Server:  s.cfg.Name,
+			Proc:    sess.Proc,
+			Session: sess.ID,
+			User:    sess.User,
+			Op:      req.Op,
+			Volume:  req.Volume,
+			Node:    req.Node,
+			Start:   now,
+		}
+	)
+
+	switch req.Op {
+	case protocol.OpListVolumes:
+		vols, d, err := s.deps.RPC.ListVolumes(sess.User, now)
+		dur, resp = d, &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Volumes: vols}
+
+	case protocol.OpListShares:
+		shares, d, err := s.deps.RPC.ListShares(sess.User, now)
+		dur, resp = d, &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Shares: shares}
+
+	case protocol.OpMakeFile, protocol.OpMakeDir:
+		var node protocol.NodeInfo
+		var d time.Duration
+		var err error
+		if req.Op == protocol.OpMakeFile {
+			node, d, err = s.deps.RPC.MakeFile(sess.User, req.Volume, req.Parent, req.Name, now)
+		} else {
+			node, d, err = s.deps.RPC.MakeDir(sess.User, req.Volume, req.Parent, req.Name, now)
+		}
+		dur = d
+		ev.Node, ev.Ext = node.ID, extOf(req.Name)
+		if err == nil {
+			s.notifyVolume(sess, req.Volume, node.Generation)
+		}
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Node: node, Generation: node.Generation}
+
+	case protocol.OpUnlink:
+		removed, gen, freed, d, err := s.deps.RPC.Unlink(sess.User, req.Volume, req.Node, now)
+		dur = d
+		if err == nil {
+			// Delete orphaned blobs from the data store (§3.2: "the API
+			// server finishes by deleting the file also from Amazon S3").
+			for _, h := range freed {
+				s.deps.Blob.DeleteObject(h.Hex())
+			}
+			s.notifyVolume(sess, req.Volume, gen)
+			if len(removed) > 0 {
+				ev.Size = removed[0].Size
+				ev.Ext = extOf(removed[0].Name)
+				ev.Hash = removed[0].Hash
+				ev.IsDir = removed[0].Kind == protocol.KindDir
+			}
+		}
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Generation: gen}
+
+	case protocol.OpMove:
+		node, d, err := s.deps.RPC.Move(sess.User, req.Volume, req.Node, req.Parent, req.Name, now)
+		dur = d
+		if err == nil {
+			s.notifyVolume(sess, req.Volume, node.Generation)
+		}
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Node: node, Generation: node.Generation}
+
+	case protocol.OpCreateUDF:
+		vol, d, err := s.deps.RPC.CreateUDF(sess.User, req.Name, now)
+		dur = d
+		ev.Volume = vol.ID
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Volumes: []protocol.VolumeInfo{vol}}
+
+	case protocol.OpDeleteVolume:
+		removed, freed, d, err := s.deps.RPC.DeleteVolume(sess.User, req.Volume, now)
+		dur = d
+		if err == nil {
+			for _, h := range freed {
+				s.deps.Blob.DeleteObject(h.Hex())
+			}
+			ev.Size = uint64(len(removed))
+		}
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err)}
+
+	case protocol.OpGetDelta:
+		resp, dur = s.handleGetDelta(sess, req, now)
+
+	case protocol.OpCreateShare:
+		share, d, err := s.deps.RPC.CreateShare(sess.User, req.Volume, req.ToUser, req.Name, req.ReadOnly, now)
+		dur = d
+		if err == nil {
+			s.notifyShare(sess, protocol.PushShareOffered, share)
+		}
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Shares: []protocol.ShareInfo{share}}
+
+	case protocol.OpAcceptShare:
+		share, d, err := s.deps.RPC.AcceptShare(sess.User, req.Share, now)
+		dur = d
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOf(err), Shares: []protocol.ShareInfo{share}}
+
+	case protocol.OpPutContent:
+		resp, dur, ev = s.handlePutContent(sess, req, now, ev)
+
+	case protocol.OpPutPart:
+		resp, dur, ev = s.handlePutPart(sess, req, now, ev)
+
+	case protocol.OpGetContent:
+		resp, dur, ev = s.handleGetContent(sess, req, now, ev)
+
+	case protocol.OpGetPart:
+		resp, dur = s.handleGetPart(sess, req)
+
+	case protocol.OpPing:
+		resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOK}
+
+	default:
+		resp = fail(req.ID, protocol.ErrBadRequest)
+	}
+
+	ev.Duration = dur
+	ev.Status = resp.Status
+	// The trace records transfers at upload/download granularity, as the
+	// paper's dataset does: a PutContent that opens an upload job reports
+	// when its last part lands (handlePutPart emits that event), and part
+	// streaming never reports as separate API events — the per-part load
+	// still shows up as RPC spans.
+	suppressed := req.Op == protocol.OpPutPart || req.Op == protocol.OpGetPart ||
+		(req.Op == protocol.OpPutContent && resp.Status == protocol.StatusOK && !resp.Reused)
+	if !suppressed {
+		s.emit(ev)
+	}
+	return resp, dur
+}
+
+// handleGetDelta serves synchronization deltas, transparently falling back to
+// the cascade get_from_scratch read when the client's generation fell behind
+// the delta log (the RescanFromScratch flow of Fig. 8).
+func (s *Server) handleGetDelta(sess *Session, req *protocol.Request, now time.Time) (*protocol.Response, time.Duration) {
+	deltas, gen, d, err := s.deps.RPC.GetDelta(sess.User, req.Volume, req.FromGen, now)
+	if err == nil {
+		return &protocol.Response{ID: req.ID, Status: protocol.StatusOK, Deltas: deltas, Generation: gen}, d
+	}
+	if !isTruncatedDelta(err) {
+		return fail(req.ID, err), d
+	}
+	nodes, gen, d2, err := s.deps.RPC.GetFromScratch(sess.User, req.Volume, now)
+	d += d2
+	if err != nil {
+		return fail(req.ID, err), d
+	}
+	full := make([]protocol.DeltaEntry, len(nodes))
+	for i, n := range nodes {
+		full[i] = protocol.DeltaEntry{Node: n}
+	}
+	return &protocol.Response{ID: req.ID, Status: protocol.StatusOK, Deltas: full, Generation: gen, Rescan: true}, d
+}
+
+// handlePutContent starts an upload (Fig. 17). The client has already sent
+// the SHA-1; the server first probes for reusable content (cross-user dedup,
+// §3.3). On a hit the file is linked without any transfer. Otherwise an
+// uploadjob is created; large contents additionally open a multipart upload
+// at the data store.
+func (s *Server) handlePutContent(sess *Session, req *protocol.Request, now time.Time, ev Event) (*protocol.Response, time.Duration, Event) {
+	ev.Hash, ev.Size, ev.Ext = req.Hash, req.Size, extOf(req.Name)
+
+	_, exists, dur, _ := s.deps.RPC.GetReusableContent(sess.User, req.Hash, now)
+	if exists {
+		node, _, wasUpdate, d, err := s.deps.RPC.MakeContent(sess.User, req.Volume, req.Node, req.Hash, req.Size, now)
+		dur += d
+		if err != nil {
+			return fail(req.ID, err), dur, ev
+		}
+		ev.IsUpdate = wasUpdate
+		ev.Wire = 0 // dedup hit: no bytes cross the wire
+		s.notifyVolume(sess, req.Volume, node.Generation)
+		return &protocol.Response{
+			ID: req.ID, Status: protocol.StatusOK,
+			Reused: true, Node: node, Generation: node.Generation,
+		}, dur, ev
+	}
+
+	job, d, err := s.deps.RPC.MakeUploadJob(sess.User, req.Volume, req.Node, req.Hash, req.Size, now)
+	dur += d
+	if err != nil {
+		return fail(req.ID, err), dur, ev
+	}
+	up := &pendingUpload{
+		job:       job,
+		session:   sess.ID,
+		ext:       extOf(req.Name),
+		plainSize: req.Size,
+		wire:      req.CompressedSize,
+	}
+	if up.wire == 0 || up.wire > req.Size {
+		up.wire = req.Size
+	}
+	if req.Size > blob.PartSize {
+		up.multipart = true
+		up.mpID = s.deps.Blob.CreateMultipartUpload(req.Hash.Hex(), now)
+		d, err := s.deps.RPC.SetUploadJobMultipartID(sess.User, job.ID, up.mpID, now)
+		dur += d
+		if err != nil {
+			return fail(req.ID, err), dur, ev
+		}
+	}
+	s.uploadsMu.Lock()
+	s.uploads[job.ID] = up
+	s.uploadsMu.Unlock()
+	return &protocol.Response{ID: req.ID, Status: protocol.StatusOK, Upload: job.ID}, dur, ev
+}
+
+// handlePutPart streams one part of an upload. The final part commits the
+// content: the blob is completed at the data store, the metadata entry is
+// written (dal.make_content), the uploadjob is garbage-collected
+// (dal.delete_uploadjob) and watchers are notified.
+func (s *Server) handlePutPart(sess *Session, req *protocol.Request, now time.Time, ev Event) (*protocol.Response, time.Duration, Event) {
+	s.uploadsMu.Lock()
+	up, ok := s.uploads[req.Upload]
+	s.uploadsMu.Unlock()
+	if !ok || up.session != sess.ID {
+		return fail(req.ID, protocol.ErrNotFound), 0, ev
+	}
+
+	partBytes := uint64(len(req.Data))
+	if partBytes == 0 {
+		partBytes = req.Size // metered mode: size only
+	}
+
+	var dur time.Duration
+	if up.multipart {
+		partNum := int(req.Part) + 1
+		var err error
+		if s.cfg.InlineData && req.Data != nil {
+			err = s.deps.Blob.UploadPart(up.mpID, partNum, req.Data)
+		} else {
+			err = s.deps.Blob.UploadPartSized(up.mpID, partNum, partBytes)
+		}
+		if err != nil {
+			return fail(req.ID, protocol.ErrBadRequest), dur, ev
+		}
+	} else if s.cfg.InlineData && req.Data != nil {
+		up.buf = append(up.buf, req.Data...)
+	}
+	up.received += partBytes
+
+	_, d, err := s.deps.RPC.AddPartToUploadJob(sess.User, req.Upload, partBytes, now)
+	dur += d
+	if err != nil {
+		return fail(req.ID, err), dur, ev
+	}
+	// The S3 leg of the transfer dominates the part's service time.
+	dur += s.deps.Transfer.Time(partBytes)
+
+	if !req.Final {
+		return &protocol.Response{ID: req.ID, Status: protocol.StatusOK}, dur, ev
+	}
+
+	// Final part: commit.
+	if up.multipart {
+		if err := s.deps.Blob.CompleteMultipartUpload(up.mpID); err != nil {
+			return fail(req.ID, protocol.ErrUnavailable), dur, ev
+		}
+	} else {
+		key := up.job.Hash.Hex()
+		if s.cfg.InlineData && up.buf != nil {
+			s.deps.Blob.PutObject(key, up.buf)
+		} else {
+			s.deps.Blob.PutObjectSized(key, up.plainSize)
+		}
+	}
+	node, _, wasUpdate, d2, err := s.deps.RPC.MakeContent(sess.User, up.job.Volume, up.job.Node, up.job.Hash, up.plainSize, now)
+	dur += d2
+	if err != nil {
+		return fail(req.ID, err), dur, ev
+	}
+	d3, _ := s.deps.RPC.DeleteUploadJob(sess.User, req.Upload, now)
+	dur += d3
+	s.uploadsMu.Lock()
+	delete(s.uploads, req.Upload)
+	s.uploadsMu.Unlock()
+
+	s.notifyVolume(sess, up.job.Volume, node.Generation)
+
+	// Emit the completed-upload event carrying the whole transfer.
+	s.emit(Event{
+		Server:   s.cfg.Name,
+		Proc:     sess.Proc,
+		Session:  sess.ID,
+		User:     sess.User,
+		Op:       protocol.OpPutContent,
+		Volume:   up.job.Volume,
+		Node:     up.job.Node,
+		Hash:     up.job.Hash,
+		Size:     up.plainSize,
+		Wire:     up.wire,
+		Ext:      up.ext,
+		Start:    now,
+		Duration: dur,
+		Status:   protocol.StatusOK,
+		IsUpdate: wasUpdate,
+	})
+	// The PutPart event itself is suppressed: the trace records transfers
+	// at upload granularity, as the paper's dataset does.
+	ev.Op = protocol.OpPutPart
+	ev.Status = protocol.StatusOK
+	return &protocol.Response{
+		ID: req.ID, Status: protocol.StatusOK,
+		Node: node, Generation: node.Generation,
+	}, dur, ev
+}
+
+// handleGetContent serves a download: get_node for the metadata, then the
+// data-store read. Small contents return inline; larger ones are staged and
+// fetched with GetPart.
+func (s *Server) handleGetContent(sess *Session, req *protocol.Request, now time.Time, ev Event) (*protocol.Response, time.Duration, Event) {
+	node, dur, err := s.deps.RPC.GetNode(sess.User, req.Volume, req.Node, now)
+	if err != nil {
+		return fail(req.ID, err), dur, ev
+	}
+	if node.Hash.IsZero() {
+		return fail(req.ID, protocol.ErrNotFound), dur, ev
+	}
+	ev.Hash, ev.Size, ev.Wire, ev.Ext = node.Hash, node.Size, node.Size, extOf(node.Name)
+	dur += s.deps.Transfer.Time(node.Size)
+
+	resp := &protocol.Response{
+		ID: req.ID, Status: protocol.StatusOK,
+		Node: node, Hash: node.Hash, Size: node.Size,
+	}
+	if s.cfg.InlineData {
+		data, err := s.deps.Blob.GetObject(node.Hash.Hex())
+		if err != nil {
+			return fail(req.ID, protocol.ErrUnavailable), dur, ev
+		}
+		if len(data) <= blob.PartSize {
+			resp.Data = data
+		} else {
+			resp.Parts = uint32((len(data) + blob.PartSize - 1) / blob.PartSize)
+			sess.mu.Lock()
+			sess.downloads[node.ID] = data
+			sess.mu.Unlock()
+		}
+	} else {
+		// Metered mode: account the data-store read without materializing.
+		if _, err := s.deps.Blob.HeadObject(node.Hash.Hex()); err != nil {
+			return fail(req.ID, protocol.ErrUnavailable), dur, ev
+		}
+		if node.Size > blob.PartSize {
+			resp.Parts = uint32((node.Size + blob.PartSize - 1) / blob.PartSize)
+		}
+	}
+	return resp, dur, ev
+}
+
+// handleGetPart serves one staged part of a large download (TCP mode).
+func (s *Server) handleGetPart(sess *Session, req *protocol.Request) (*protocol.Response, time.Duration) {
+	sess.mu.Lock()
+	data, ok := sess.downloads[req.Node]
+	sess.mu.Unlock()
+	if !ok {
+		// Metered mode has nothing staged: acknowledge the part so clients
+		// can pace themselves identically in both modes.
+		return &protocol.Response{ID: req.ID, Status: protocol.StatusOK}, 0
+	}
+	lo := int(req.Part) * blob.PartSize
+	if lo >= len(data) {
+		return fail(req.ID, protocol.ErrBadRequest), 0
+	}
+	hi := lo + blob.PartSize
+	if hi > len(data) {
+		hi = len(data)
+	}
+	final := hi == len(data)
+	if final {
+		sess.mu.Lock()
+		delete(sess.downloads, req.Node)
+		sess.mu.Unlock()
+	}
+	return &protocol.Response{ID: req.ID, Status: protocol.StatusOK, Data: data[lo:hi]}, 0
+}

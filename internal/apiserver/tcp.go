@@ -1,0 +1,134 @@
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"u1/internal/protocol"
+	"u1/internal/wire"
+)
+
+// Serve accepts client connections on ln until the listener closes. Each
+// connection carries one storage-protocol session: the first frame must be an
+// Authenticate request; afterwards requests are served in order and pushes
+// are interleaved onto the same connection, exactly the §3.3 model of one
+// persistent TCP connection per desktop client.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("apiserver: accept: %w", err)
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// RunNotifier forwards broker events to local sessions until done closes.
+// The TCP deployment runs one per server.
+func (s *Server) RunNotifier(done <-chan struct{}) {
+	for {
+		select {
+		case e, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.pushLocal(e.User, e.ExcludeSession, &protocol.Push{
+				Event:      e.Kind,
+				Volume:     e.Volume,
+				Generation: e.Generation,
+				Share:      e.Share,
+			})
+		case <-done:
+			return
+		}
+	}
+}
+
+// connWriter serializes frame writes: responses and pushes share the
+// connection.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) writeFrame(msgType byte, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return wire.WriteFrame(w.conn, msgType, payload)
+}
+
+// Push implements Pusher by writing a push frame. Write errors terminate the
+// connection lazily: the read loop notices.
+func (w *connWriter) Push(p *protocol.Push) {
+	_ = w.writeFrame(protocol.FramePush, p.Marshal())
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	w := &connWriter{conn: conn}
+
+	var sess *Session
+	defer func() {
+		if sess != nil {
+			s.CloseSession(sess, time.Now())
+		}
+	}()
+
+	for {
+		msgType, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // io.EOF on clean shutdown; anything else drops the conn
+		}
+		if msgType != protocol.FrameRequest {
+			return // protocol violation
+		}
+		req, err := protocol.UnmarshalRequest(payload)
+		if err != nil {
+			return
+		}
+		now := time.Now()
+
+		var resp *protocol.Response
+		switch {
+		case req.Op == protocol.OpAuthenticate:
+			var r *protocol.Response
+			sess, r, _ = s.OpenSession(req.Token, w, now)
+			r.ID = req.ID
+			resp = r
+		case req.Op == protocol.OpCloseSession:
+			if sess != nil {
+				s.CloseSession(sess, now)
+				sess = nil
+			}
+			resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOK}
+		default:
+			resp, _ = s.Handle(sess, req, now)
+		}
+		if err := w.writeFrame(protocol.FrameResponse, resp.Marshal()); err != nil {
+			return
+		}
+		if req.Op == protocol.OpCloseSession {
+			return
+		}
+	}
+}
+
+// ListenAndServe listens on addr and serves until the process ends. It
+// reports the bound address through the optional ready channel, which helps
+// tests bind port 0.
+func (s *Server) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("apiserver: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	return s.Serve(ln)
+}

@@ -1,0 +1,193 @@
+// Package auth implements the Canonical SSO stand-in: the OAuth-style token
+// service of §3.4.1. The first connection of a user trades credentials for a
+// token; later connections present the token and the service resolves it to a
+// user id. API servers cache validated tokens for the session lifetime to
+// avoid overloading this shared service.
+//
+// The production service showed a 2.76% request failure rate (§7.3); the
+// same rate can be injected here so downstream retry paths and the Fig. 15
+// analysis see realistic failures.
+package auth
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"time"
+
+	"u1/internal/protocol"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// FailureRate injects random validation failures with this probability
+	// (the paper measured 0.0276). Zero disables injection.
+	FailureRate float64
+	// Seed makes failure injection reproducible. Zero uses a fixed default.
+	Seed int64
+}
+
+// Counters tracks the request accounting of §7.3 / Fig. 15.
+type Counters struct {
+	Issued    uint64
+	Validated uint64
+	Failed    uint64
+	Revoked   uint64
+}
+
+// Service is the token service. It models the deployment of §3.4.1 (one
+// database server with hot failover behind two application servers) as a
+// single consistent token table; the redundancy aspects are not part of any
+// measured result.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	tokens   map[string]protocol.UserID
+	rng      *mrand.Rand
+	counters Counters
+}
+
+// New creates the service.
+func New(cfg Config) *Service {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Service{
+		cfg:    cfg,
+		tokens: make(map[string]protocol.UserID),
+		rng:    mrand.New(mrand.NewSource(seed)),
+	}
+}
+
+// Issue trades credentials for a new token tied to user. Credential checking
+// itself is out of scope (the trace never carries passwords); the token is
+// cryptographically random as in OAuth.
+func (s *Service) Issue(user protocol.UserID) (string, error) {
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("auth: generating token: %w", err)
+	}
+	token := hex.EncodeToString(raw[:])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens[token] = user
+	s.counters.Issued++
+	return token, nil
+}
+
+// Validate resolves a token to its user (auth.get_user_id_from_token).
+// Unknown tokens and injected failures yield protocol.ErrAuthFailed.
+func (s *Service) Validate(token string) (protocol.UserID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.FailureRate > 0 && s.rng.Float64() < s.cfg.FailureRate {
+		s.counters.Failed++
+		return 0, fmt.Errorf("%w: transient validation failure", protocol.ErrAuthFailed)
+	}
+	user, ok := s.tokens[token]
+	if !ok {
+		s.counters.Failed++
+		return 0, fmt.Errorf("%w: unknown token", protocol.ErrAuthFailed)
+	}
+	s.counters.Validated++
+	return user, nil
+}
+
+// Revoke invalidates a token (used when dismantling the fraudulent accounts
+// behind the §5.4 attacks).
+func (s *Service) Revoke(token string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tokens, token)
+	s.counters.Revoked++
+}
+
+// RevokeUser invalidates every token of a user and returns how many were
+// dropped.
+func (s *Service) RevokeUser(user protocol.UserID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for tok, u := range s.tokens {
+		if u == user {
+			delete(s.tokens, tok)
+			n++
+		}
+	}
+	s.counters.Revoked += uint64(n)
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Cache is the per-API-server token cache of §3.4.1: validated tokens are
+// remembered for a TTL so steady-state traffic does not hit the shared
+// authentication service.
+type Cache struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	user    protocol.UserID
+	expires time.Time
+}
+
+// NewCache creates a cache with the given TTL.
+func NewCache(ttl time.Duration) *Cache {
+	return &Cache{ttl: ttl, entries: make(map[string]cacheEntry)}
+}
+
+// Get returns the cached user for token if fresh at time now.
+func (c *Cache) Get(token string, now time.Time) (protocol.UserID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[token]
+	if !ok || now.After(e.expires) {
+		if ok {
+			delete(c.entries, token)
+		}
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	return e.user, true
+}
+
+// Put caches a validated token.
+func (c *Cache) Put(token string, user protocol.UserID, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[token] = cacheEntry{user: user, expires: now.Add(c.ttl)}
+}
+
+// Drop removes a token from the cache (on revocation).
+func (c *Cache) Drop(token string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, token)
+}
+
+// HitRate returns the cache hit fraction observed so far (0 when unused).
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,105 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"u1/internal/protocol"
+)
+
+func TestIssueValidate(t *testing.T) {
+	s := New(Config{})
+	tok, err := s.Issue(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tok) != 32 {
+		t.Errorf("token length = %d", len(tok))
+	}
+	user, err := s.Validate(tok)
+	if err != nil || user != 42 {
+		t.Errorf("validate = %v, %v", user, err)
+	}
+	if _, err := s.Validate("bogus"); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("bogus token err = %v", err)
+	}
+	st := s.Stats()
+	if st.Issued != 1 || st.Validated != 1 || st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s := New(Config{})
+	tok, _ := s.Issue(1)
+	s.Revoke(tok)
+	if _, err := s.Validate(tok); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Error("revoked token should fail")
+	}
+}
+
+func TestRevokeUser(t *testing.T) {
+	s := New(Config{})
+	t1, _ := s.Issue(7)
+	t2, _ := s.Issue(7)
+	t3, _ := s.Issue(8)
+	if n := s.RevokeUser(7); n != 2 {
+		t.Errorf("revoked %d tokens, want 2", n)
+	}
+	for _, tok := range []string{t1, t2} {
+		if _, err := s.Validate(tok); err == nil {
+			t.Error("user-7 token should be revoked")
+		}
+	}
+	if _, err := s.Validate(t3); err != nil {
+		t.Error("user-8 token should survive")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	// The paper's measured rate: 2.76% of auth requests fail.
+	s := New(Config{FailureRate: 0.0276, Seed: 5})
+	tok, _ := s.Issue(1)
+	var failed int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, err := s.Validate(tok); err != nil {
+			failed++
+		}
+	}
+	rate := float64(failed) / float64(n)
+	if rate < 0.02 || rate > 0.036 {
+		t.Errorf("failure rate = %v, want ≈ 0.0276", rate)
+	}
+}
+
+func TestCache(t *testing.T) {
+	c := NewCache(time.Hour)
+	now := time.Unix(1390000000, 0)
+	if _, ok := c.Get("t", now); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put("t", 9, now)
+	if user, ok := c.Get("t", now.Add(time.Minute)); !ok || user != 9 {
+		t.Errorf("cache hit = %v, %v", user, ok)
+	}
+	// Expired entries miss and are evicted.
+	if _, ok := c.Get("t", now.Add(2*time.Hour)); ok {
+		t.Error("expired entry should miss")
+	}
+	if _, ok := c.Get("t", now.Add(time.Minute)); ok {
+		t.Error("expired entry should have been evicted")
+	}
+	c.Put("d", 1, now)
+	c.Drop("d")
+	if _, ok := c.Get("d", now); ok {
+		t.Error("dropped entry should miss")
+	}
+	if hr := c.HitRate(); hr <= 0 || hr >= 1 {
+		t.Errorf("hit rate = %v", hr)
+	}
+	if NewCache(time.Hour).HitRate() != 0 {
+		t.Error("unused cache hit rate should be 0")
+	}
+}

@@ -1,0 +1,303 @@
+// Package blob implements the data store of U1: a stand-in for Amazon S3
+// (us-east) where all file contents live, while Canonical's datacenter keeps
+// only metadata (§3.2). The store is content-addressed (keys are SHA-1 hex
+// strings), supports single-shot puts for small contents and the multipart
+// upload API that the U1 uploadjob machinery drives (appendix A): initiate,
+// upload part, complete, abort.
+//
+// Two storage modes exist. With KeepData the store retains real bytes — what
+// the TCP server and examples use. Without it only sizes are retained, so a
+// simulated month of U1 traffic (hundreds of TB logical) fits in memory while
+// exercising identical code paths; reads then return deterministic
+// pseudo-content of the right size.
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PartSize is the multipart chunk size used by U1 (appendix A: 5 MB).
+const PartSize = 5 << 20
+
+// Store errors.
+var (
+	ErrNoSuchKey    = errors.New("blob: no such key")
+	ErrNoSuchUpload = errors.New("blob: no such multipart upload")
+	ErrPartGap      = errors.New("blob: non-contiguous part number")
+)
+
+// Config parameterizes the store.
+type Config struct {
+	// KeepData retains object bytes. Disable for large-scale simulation.
+	KeepData bool
+}
+
+// Counters aggregates the request accounting a provider bills by — the paper
+// notes U1's ≈$20,000 monthly S3 bill made it the largest European S3
+// customer.
+type Counters struct {
+	Puts, Gets, Deletes          uint64
+	MultipartCreated             uint64
+	MultipartCompleted           uint64
+	MultipartAborted             uint64
+	PartsUploaded                uint64
+	BytesIn, BytesOut, BytesHeld uint64
+	Objects                      uint64
+}
+
+// Store is the object store.
+type Store struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	objects  map[string]*object
+	uploads  map[string]*multipartUpload
+	nextID   uint64
+	counters Counters
+}
+
+type object struct {
+	size uint64
+	data []byte // nil unless KeepData
+}
+
+type multipartUpload struct {
+	id      string
+	key     string
+	size    uint64
+	parts   int
+	data    []byte // nil unless KeepData
+	started time.Time
+}
+
+// New creates an empty store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:     cfg,
+		objects: make(map[string]*object),
+		uploads: make(map[string]*multipartUpload),
+	}
+}
+
+// PutObject stores data under key in one shot (used for contents at or below
+// one part).
+func (s *Store) PutObject(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, uint64(len(data)), data)
+	return nil
+}
+
+// PutObjectSized stores a size-only object (metered mode helper for the
+// simulator, which never materializes contents).
+func (s *Store) PutObjectSized(key string, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, size, nil)
+	return nil
+}
+
+func (s *Store) putLocked(key string, size uint64, data []byte) {
+	if old, ok := s.objects[key]; ok {
+		// Content-addressed keys make overwrites idempotent; adjust held
+		// bytes in case sizes differ (they cannot for honest SHA-1 keys).
+		s.counters.BytesHeld -= old.size
+		s.counters.Objects--
+	}
+	obj := &object{size: size}
+	if s.cfg.KeepData && data != nil {
+		obj.data = append([]byte(nil), data...)
+	}
+	s.objects[key] = obj
+	s.counters.Puts++
+	s.counters.BytesIn += size
+	s.counters.BytesHeld += size
+	s.counters.Objects++
+}
+
+// GetObject returns the object's bytes. In metered mode it synthesizes
+// deterministic pseudo-content of the recorded size.
+func (s *Store) GetObject(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
+	}
+	s.counters.Gets++
+	s.counters.BytesOut += obj.size
+	if obj.data != nil {
+		return append([]byte(nil), obj.data...), nil
+	}
+	return synthesize(key, obj.size), nil
+}
+
+// HeadObject returns the object's size without transferring it.
+func (s *Store) HeadObject(key string) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
+	}
+	return obj.size, nil
+}
+
+// DeleteObject removes an object; deleting a missing key is a no-op, as in
+// S3.
+func (s *Store) DeleteObject(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.objects[key]; ok {
+		s.counters.BytesHeld -= obj.size
+		s.counters.Objects--
+		delete(s.objects, key)
+	}
+	s.counters.Deletes++
+}
+
+// CreateMultipartUpload starts a multipart upload towards key and returns the
+// multipart id that the metadata store records on the uploadjob
+// (dal.set_uploadjob_multipart_id).
+func (s *Store) CreateMultipartUpload(key string, now time.Time) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("mp-%d", s.nextID)
+	s.uploads[id] = &multipartUpload{id: id, key: key, started: now}
+	s.counters.MultipartCreated++
+	return id
+}
+
+// UploadPart appends one part. Parts must arrive in order (1-based,
+// contiguous), which is how the U1 API server streams them.
+func (s *Store) UploadPart(id string, partNum int, data []byte) error {
+	return s.uploadPart(id, partNum, uint64(len(data)), data)
+}
+
+// UploadPartSized appends a size-only part (metered mode).
+func (s *Store) UploadPartSized(id string, partNum int, size uint64) error {
+	return s.uploadPart(id, partNum, size, nil)
+}
+
+func (s *Store) uploadPart(id string, partNum int, size uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.uploads[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchUpload, id)
+	}
+	if partNum != up.parts+1 {
+		return fmt.Errorf("%w: got part %d after %d", ErrPartGap, partNum, up.parts)
+	}
+	up.parts++
+	up.size += size
+	if s.cfg.KeepData && data != nil {
+		up.data = append(up.data, data...)
+	}
+	s.counters.PartsUploaded++
+	s.counters.BytesIn += size
+	return nil
+}
+
+// CompleteMultipartUpload commits the accumulated parts as the object.
+func (s *Store) CompleteMultipartUpload(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.uploads[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchUpload, id)
+	}
+	delete(s.uploads, id)
+	// BytesIn was already counted per part; commit without recounting.
+	if old, exists := s.objects[up.key]; exists {
+		s.counters.BytesHeld -= old.size
+		s.counters.Objects--
+	}
+	obj := &object{size: up.size}
+	if s.cfg.KeepData {
+		obj.data = up.data
+	}
+	s.objects[up.key] = obj
+	s.counters.BytesHeld += up.size
+	s.counters.Objects++
+	s.counters.MultipartCompleted++
+	return nil
+}
+
+// AbortMultipartUpload discards an in-flight upload (client cancellation or
+// the weekly uploadjob garbage collection).
+func (s *Store) AbortMultipartUpload(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.uploads[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchUpload, id)
+	}
+	delete(s.uploads, id)
+	s.counters.MultipartAborted++
+	return nil
+}
+
+// AbandonedUploads returns the ids of multipart uploads started before
+// cutoff, for garbage collection sweeps.
+func (s *Store) AbandonedUploads(cutoff time.Time) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []string
+	for id, up := range s.uploads {
+		if up.started.Before(cutoff) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Counters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counters
+}
+
+// synthesize produces deterministic pseudo-content for metered objects: the
+// key bytes repeated. Only used when the store holds no real data.
+func synthesize(key string, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	out := make([]byte, size)
+	kb := []byte(key)
+	if len(kb) == 0 {
+		return out
+	}
+	for i := 0; i < len(out); i += len(kb) {
+		copy(out[i:], kb)
+	}
+	return out
+}
+
+// TransferModel estimates WAN transfer times between the datacenter and the
+// data store. U1 ran in Canonical's London datacenter against S3 us-east; the
+// defaults approximate that path. The apiserver uses these estimates to
+// shape simulated service times for data operations.
+type TransferModel struct {
+	RTT       time.Duration // request round-trip latency
+	Bandwidth float64       // sustained bytes/second
+}
+
+// DefaultTransferModel approximates a transatlantic path: 80 ms RTT and
+// 50 MB/s sustained.
+func DefaultTransferModel() TransferModel {
+	return TransferModel{RTT: 80 * time.Millisecond, Bandwidth: 50e6}
+}
+
+// Time returns the estimated wall time to move size bytes in one direction.
+func (m TransferModel) Time(size uint64) time.Duration {
+	if m.Bandwidth <= 0 {
+		return m.RTT
+	}
+	return m.RTT + time.Duration(float64(size)/m.Bandwidth*float64(time.Second))
+}

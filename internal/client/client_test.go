@@ -1,0 +1,273 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"u1/internal/apiserver"
+	"u1/internal/auth"
+	"u1/internal/blob"
+	"u1/internal/metadata"
+	"u1/internal/notify"
+	"u1/internal/protocol"
+	"u1/internal/rpc"
+)
+
+// newServer builds a single API server with its dependencies for direct use.
+func newServer(t *testing.T) (*apiserver.Server, *auth.Service) {
+	t.Helper()
+	store := metadata.New(metadata.Config{Shards: 4})
+	authSvc := auth.New(auth.Config{Seed: 1})
+	srv := apiserver.New(apiserver.Config{Name: "t", Procs: 2}, apiserver.Deps{
+		RPC:      rpc.NewServer(store, rpc.Config{Seed: 1}),
+		Auth:     authSvc,
+		Blob:     blob.New(blob.Config{}),
+		Broker:   notify.NewBroker(),
+		Transfer: blob.DefaultTransferModel(),
+	})
+	return srv, authSvc
+}
+
+func connected(t *testing.T, srv *apiserver.Server, authSvc *auth.Service, user protocol.UserID) *Client {
+	t.Helper()
+	token, err := authSvc.Issue(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := New(NewDirectTransport(FixedServer(srv), nil))
+	if err := cli.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	return cli
+}
+
+func TestConnectInitFlow(t *testing.T) {
+	srv, authSvc := newServer(t)
+	cli := connected(t, srv, authSvc, 1)
+	defer cli.Close()
+	if cli.User() != 1 || cli.Session() == 0 {
+		t.Errorf("user=%v session=%v", cli.User(), cli.Session())
+	}
+	root, ok := cli.RootVolume()
+	if !ok || root == 0 {
+		t.Fatal("no root volume after connect")
+	}
+	if _, ok := cli.Mirror(root); !ok {
+		t.Error("root volume not mirrored")
+	}
+}
+
+func TestConnectBadToken(t *testing.T) {
+	srv, _ := newServer(t)
+	cli := New(NewDirectTransport(FixedServer(srv), nil))
+	err := cli.Connect("bogus")
+	if !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDisconnectReconnectKeepsMirror(t *testing.T) {
+	srv, authSvc := newServer(t)
+	token, _ := authSvc.Issue(5)
+	cli := New(NewDirectTransport(FixedServer(srv), nil))
+	if err := cli.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := cli.RootVolume()
+	h := protocol.HashBytes([]byte("x"))
+	if _, _, err := cli.UploadSized(root, 0, "a.txt", h, 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	firstSession := cli.Session()
+	if err := cli.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	// Reconnect: a fresh session, but local mirrors persist and the sync
+	// from the retained generation returns nothing new.
+	if err := cli.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Session() == firstSession {
+		t.Error("reconnect should open a new session")
+	}
+	changed, err := cli.Sync(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Errorf("nothing changed server-side, got %d", len(changed))
+	}
+	// The volume root dir is implicit (generation 0, never in the delta
+	// log); the mirror holds the one uploaded file.
+	m, _ := cli.Mirror(root)
+	if len(m.Nodes) != 1 {
+		t.Errorf("mirror nodes = %d", len(m.Nodes))
+	}
+}
+
+func TestUploadSizedAndDedupStats(t *testing.T) {
+	srv, authSvc := newServer(t)
+	a := connected(t, srv, authSvc, 10)
+	b := connected(t, srv, authSvc, 11)
+	rootA, _ := a.RootVolume()
+	rootB, _ := b.RootVolume()
+
+	h := protocol.HashBytes([]byte("shared-content"))
+	if _, reused, err := a.UploadSized(rootA, 0, "one.bin", h, 100, 80); err != nil || reused {
+		t.Fatalf("first upload reused=%v err=%v", reused, err)
+	}
+	if _, reused, err := b.UploadSized(rootB, 0, "two.bin", h, 100, 80); err != nil || !reused {
+		t.Fatalf("second upload reused=%v err=%v", reused, err)
+	}
+	if st := b.Stats(); st.DedupHits != 1 || st.Uploads != 1 || st.BytesUp != 0 {
+		t.Errorf("stats = %+v (dedup hit must not count bytes)", st)
+	}
+}
+
+func TestBeginUploadLeavesJob(t *testing.T) {
+	srv, authSvc := newServer(t)
+	cli := connected(t, srv, authSvc, 20)
+	root, _ := cli.RootVolume()
+	up, reused, err := cli.BeginUpload(root, 0, "partial.iso", protocol.HashBytes([]byte("p")), 30<<20)
+	if err != nil || reused || up == 0 {
+		t.Fatalf("begin: up=%v reused=%v err=%v", up, reused, err)
+	}
+	// Nothing committed: the file node exists but has no content.
+	m, _ := cli.Mirror(root)
+	for _, n := range m.Nodes {
+		if n.Kind == protocol.KindFile && !n.Hash.IsZero() {
+			t.Error("no content should be committed")
+		}
+	}
+}
+
+func TestMoveAndUnlinkUpdateMirror(t *testing.T) {
+	srv, authSvc := newServer(t)
+	cli := connected(t, srv, authSvc, 30)
+	root, _ := cli.RootVolume()
+	dir, err := cli.Mkdir(root, 0, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := protocol.HashBytes([]byte("f"))
+	node, _, err := cli.UploadSized(root, dir.ID, "f.txt", h, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := cli.Move(root, node.ID, 0, "g.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Name != "g.txt" {
+		t.Errorf("moved = %+v", moved)
+	}
+	if err := cli.Unlink(root, node.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Download(root, node.ID); err == nil {
+		t.Error("download after unlink should fail")
+	}
+}
+
+func TestSyncAppliesRemoteChanges(t *testing.T) {
+	srv, authSvc := newServer(t)
+	dev1 := connected(t, srv, authSvc, 40)
+	dev2 := connected(t, srv, authSvc, 40)
+	root, _ := dev1.RootVolume()
+	for i := 0; i < 5; i++ {
+		h := protocol.HashBytes([]byte{byte(i)})
+		if _, _, err := dev1.UploadSized(root, 0, fmt.Sprintf("f%d", i), h, 10, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changed, err := dev2.Sync(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 5 {
+		t.Errorf("changed = %d", len(changed))
+	}
+	if dev2.Stats().SyncsRun == 0 {
+		t.Error("sync counter")
+	}
+}
+
+func TestHandlePushTriggersSync(t *testing.T) {
+	srv, authSvc := newServer(t)
+	dev1 := connected(t, srv, authSvc, 50)
+	dev2 := connected(t, srv, authSvc, 50)
+	root, _ := dev1.RootVolume()
+	h := protocol.HashBytes([]byte("pushme"))
+	if _, _, err := dev1.UploadSized(root, 0, "p.txt", h, 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	// dev2 shares the server process, so the push is immediate.
+	select {
+	case p := <-dev2.Pushes():
+		changed, err := dev2.HandlePush(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(changed) != 1 {
+			t.Errorf("changed = %d", len(changed))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no push")
+	}
+	if dev2.Stats().PushesSeen == 0 {
+		t.Error("push counter")
+	}
+	// A stale push (old generation) must not trigger a sync.
+	before := dev2.Stats().SyncsRun
+	if _, err := dev2.HandlePush(&protocol.Push{Event: protocol.PushVolumeChanged, Volume: root, Generation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dev2.Stats().SyncsRun != before {
+		t.Error("stale push should not sync")
+	}
+}
+
+func TestFlateSize(t *testing.T) {
+	compressible := make([]byte, 10000) // zeros compress well
+	if got := flateSize(compressible); got >= 10000 || got == 0 {
+		t.Errorf("flateSize(zeros) = %d", got)
+	}
+	if got := flateSize(nil); got != 0 && got > 16 {
+		t.Errorf("flateSize(nil) = %d", got)
+	}
+}
+
+func TestServiceTimeAccumulates(t *testing.T) {
+	srv, authSvc := newServer(t)
+	token, _ := authSvc.Issue(60)
+	tr := NewDirectTransport(FixedServer(srv), nil)
+	cli := New(tr)
+	if err := cli.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := cli.RootVolume()
+	h := protocol.HashBytes([]byte("svc"))
+	if _, _, err := cli.UploadSized(root, 0, "s.txt", h, 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ServiceTime() <= 0 {
+		t.Error("service time should accumulate")
+	}
+	if tr.Session() == nil {
+		t.Error("session should be live")
+	}
+}
+
+func TestTransportClosedBehavior(t *testing.T) {
+	srv, authSvc := newServer(t)
+	cli := connected(t, srv, authSvc, 70)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-auth requests on a session-less transport fail with auth status.
+	if err := cli.Ping(); err == nil {
+		t.Error("ping after close should fail")
+	}
+}

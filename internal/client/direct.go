@@ -1,0 +1,126 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"u1/internal/apiserver"
+	"u1/internal/protocol"
+)
+
+// DirectTransport drives in-process API servers without sockets. The
+// simulator uses it to run very large client populations on a virtual clock:
+// Clock supplies the timestamp for every request, and the accumulated
+// simulated service time is available through ServiceTime.
+//
+// Placement follows the gateway rule of §4: every new session (Authenticate)
+// asks the place function for a server — typically Cluster.LeastLoaded — and
+// stays on it until the session ends. The transport is reusable across
+// sessions, like a desktop client reconnecting after a drop.
+type DirectTransport struct {
+	place func() *apiserver.Server
+	clock func() time.Time
+
+	mu      sync.Mutex
+	server  *apiserver.Server
+	sess    *apiserver.Session
+	service time.Duration
+
+	pushes chan *protocol.Push
+}
+
+// FixedServer returns a placement function pinning every session to srv.
+func FixedServer(srv *apiserver.Server) func() *apiserver.Server {
+	return func() *apiserver.Server { return srv }
+}
+
+// NewDirectTransport creates a transport. place chooses the API server for
+// each new session; clock provides request timestamps (nil → time.Now).
+func NewDirectTransport(place func() *apiserver.Server, clock func() time.Time) *DirectTransport {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &DirectTransport{
+		place:  place,
+		clock:  clock,
+		pushes: make(chan *protocol.Push, 256),
+	}
+}
+
+// Do implements Transport.
+func (t *DirectTransport) Do(req *protocol.Request) (*protocol.Response, error) {
+	now := t.clock()
+	switch req.Op {
+	case protocol.OpAuthenticate:
+		server := t.place()
+		pusher := apiserver.PusherFunc(func(p *protocol.Push) {
+			select {
+			case t.pushes <- p:
+			default: // not draining; drop
+			}
+		})
+		newSess, resp, d := server.OpenSession(req.Token, pusher, now)
+		t.mu.Lock()
+		t.server = server
+		t.sess = newSess
+		t.service += d
+		t.mu.Unlock()
+		resp.ID = req.ID
+		return resp, nil
+
+	case protocol.OpCloseSession:
+		t.mu.Lock()
+		sess, server := t.sess, t.server
+		t.sess = nil
+		t.mu.Unlock()
+		if sess != nil && server != nil {
+			server.CloseSession(sess, now)
+		}
+		return &protocol.Response{ID: req.ID, Status: protocol.StatusOK}, nil
+
+	default:
+		t.mu.Lock()
+		sess, server := t.sess, t.server
+		t.mu.Unlock()
+		if server == nil {
+			return &protocol.Response{ID: req.ID, Status: protocol.StatusAuthFailed}, nil
+		}
+		resp, d := server.Handle(sess, req, now)
+		t.mu.Lock()
+		t.service += d
+		t.mu.Unlock()
+		return resp, nil
+	}
+}
+
+// Pushes implements Transport.
+func (t *DirectTransport) Pushes() <-chan *protocol.Push { return t.pushes }
+
+// Close implements Transport: it ends the current session (a TCP disconnect)
+// but the transport stays reusable — the next Authenticate starts a fresh
+// session, possibly on another server.
+func (t *DirectTransport) Close() error {
+	t.mu.Lock()
+	sess, server := t.sess, t.server
+	t.sess = nil
+	t.mu.Unlock()
+	if sess != nil && server != nil {
+		server.CloseSession(sess, t.clock())
+	}
+	return nil
+}
+
+// ServiceTime returns the cumulative simulated back-end service time
+// consumed through this transport.
+func (t *DirectTransport) ServiceTime() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.service
+}
+
+// Session returns the live session, if any (diagnostics and tests).
+func (t *DirectTransport) Session() *apiserver.Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess
+}

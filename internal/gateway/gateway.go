@@ -1,0 +1,194 @@
+// Package gateway implements the system gateway of §3.2: the visible
+// endpoint users connect to (HAProxy in the U1 deployment). It provides two
+// pieces: a Balancer implementing the placement rule documented in §4 — "a
+// session starts in the least loaded machine and lives in the same node until
+// it finishes" — and a TCP Proxy that applies the rule to real connections.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+)
+
+// ErrNoBackends is returned when no backend is registered.
+var ErrNoBackends = errors.New("gateway: no backends registered")
+
+// Balancer assigns sessions to the least-loaded backend and tracks active
+// session counts. It is safe for concurrent use.
+type Balancer struct {
+	mu     sync.Mutex
+	active map[string]int
+	total  map[string]uint64
+}
+
+// NewBalancer creates a balancer over the given backend names.
+func NewBalancer(backends ...string) *Balancer {
+	b := &Balancer{active: make(map[string]int), total: make(map[string]uint64)}
+	for _, name := range backends {
+		b.active[name] = 0
+	}
+	return b
+}
+
+// AddBackend registers a backend (API server process) with zero load.
+func (b *Balancer) AddBackend(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.active[name]; !ok {
+		b.active[name] = 0
+	}
+}
+
+// RemoveBackend deregisters a backend; its sessions are assumed terminated.
+func (b *Balancer) RemoveBackend(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.active, name)
+}
+
+// Acquire picks the least-loaded backend, increments its session count and
+// returns its name. Ties break deterministically by name so tests are
+// stable.
+func (b *Balancer) Acquire() (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.active) == 0 {
+		return "", ErrNoBackends
+	}
+	names := make([]string, 0, len(b.active))
+	for name := range b.active {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	best := names[0]
+	for _, name := range names[1:] {
+		if b.active[name] < b.active[best] {
+			best = name
+		}
+	}
+	b.active[best]++
+	b.total[best]++
+	return best, nil
+}
+
+// Release ends a session on the backend.
+func (b *Balancer) Release(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n, ok := b.active[name]; ok && n > 0 {
+		b.active[name] = n - 1
+	}
+}
+
+// Active returns a snapshot of active sessions per backend.
+func (b *Balancer) Active() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.active))
+	for k, v := range b.active {
+		out[k] = v
+	}
+	return out
+}
+
+// Totals returns cumulative sessions placed per backend.
+func (b *Balancer) Totals() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]uint64, len(b.total))
+	for k, v := range b.total {
+		out[k] = v
+	}
+	return out
+}
+
+// Proxy is a TCP pass-through applying the Balancer's placement to real
+// connections: each accepted client connection is pinned to one backend
+// address for its lifetime.
+type Proxy struct {
+	balancer *Balancer
+	backends map[string]string // name → dial address
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewProxy creates a proxy over named backend addresses.
+func NewProxy(backends map[string]string) *Proxy {
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	return &Proxy{
+		balancer: NewBalancer(names...),
+		backends: backends,
+	}
+}
+
+// Balancer exposes the underlying balancer for inspection.
+func (p *Proxy) Balancer() *Balancer { return p.balancer }
+
+// Serve accepts connections on ln until it is closed. Each connection is
+// placed on the least-loaded backend and copied bidirectionally.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("gateway: accept: %w", err)
+		}
+		go p.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln != nil {
+		return p.ln.Close()
+	}
+	return nil
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer client.Close()
+	name, err := p.balancer.Acquire()
+	if err != nil {
+		return
+	}
+	defer p.balancer.Release(name)
+	backend, err := net.Dial("tcp", p.backends[name])
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client)
+		// Half-close towards the backend so it observes EOF.
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, backend)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestBalancerLeastLoaded(t *testing.T) {
+	b := NewBalancer("a", "b", "c")
+	got := make(map[string]int)
+	for i := 0; i < 6; i++ {
+		name, err := b.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[name]++
+	}
+	// Perfectly balanced: two sessions each.
+	for _, name := range []string{"a", "b", "c"} {
+		if got[name] != 2 {
+			t.Errorf("backend %s got %d sessions", name, got[name])
+		}
+	}
+	// Release two sessions from "b": next two placements go to b.
+	b.Release("b")
+	b.Release("b")
+	for i := 0; i < 2; i++ {
+		name, _ := b.Acquire()
+		if name != "b" {
+			t.Errorf("placement %d went to %s, want b", i, name)
+		}
+	}
+	if tot := b.Totals(); tot["b"] != 4 {
+		t.Errorf("totals = %v", tot)
+	}
+}
+
+func TestBalancerSessionsStick(t *testing.T) {
+	// The balancer hands out a name once; the session keeps it. Active
+	// counts reflect held sessions.
+	b := NewBalancer("a", "b")
+	n1, _ := b.Acquire()
+	n2, _ := b.Acquire()
+	if n1 == n2 {
+		t.Errorf("both sessions on %s", n1)
+	}
+	act := b.Active()
+	if act["a"] != 1 || act["b"] != 1 {
+		t.Errorf("active = %v", act)
+	}
+}
+
+func TestBalancerEmpty(t *testing.T) {
+	b := NewBalancer()
+	if _, err := b.Acquire(); !errors.Is(err, ErrNoBackends) {
+		t.Errorf("err = %v", err)
+	}
+	// Releasing unknown names must not panic or underflow.
+	b.Release("ghost")
+	b.AddBackend("x")
+	b.AddBackend("x") // idempotent
+	name, err := b.Acquire()
+	if err != nil || name != "x" {
+		t.Errorf("acquire = %s, %v", name, err)
+	}
+	b.RemoveBackend("x")
+	if _, err := b.Acquire(); err == nil {
+		t.Error("acquire after removal should fail")
+	}
+}
+
+func TestBalancerConcurrent(t *testing.T) {
+	b := NewBalancer("a", "b", "c", "d")
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name, err := b.Acquire()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b.Release(name)
+		}()
+	}
+	wg.Wait()
+	for name, n := range b.Active() {
+		if n != 0 {
+			t.Errorf("backend %s leaked %d sessions", name, n)
+		}
+	}
+}
+
+// echoServer accepts connections and echoes bytes back, prefixed by its name.
+func echoServer(t *testing.T, name string) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf, _ := io.ReadAll(c)
+				fmt.Fprintf(c, "%s:%s", name, buf)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestProxyEndToEnd(t *testing.T) {
+	addrA, stopA := echoServer(t, "A")
+	defer stopA()
+	addrB, stopB := echoServer(t, "B")
+	defer stopB()
+
+	p := NewProxy(map[string]string{"a": addrA, "b": addrB})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(ln)
+	defer p.Close()
+
+	seen := make(map[string]bool)
+	for i := 0; i < 4; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(conn, "ping%d", i)
+		conn.(*net.TCPConn).CloseWrite()
+		reply, err := io.ReadAll(conn)
+		conn.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reply) < 2 {
+			t.Fatalf("short reply %q", reply)
+		}
+		seen[string(reply[0])] = true
+		want := fmt.Sprintf("ping%d", i)
+		if string(reply[2:]) != want {
+			t.Errorf("reply = %q, want suffix %q", reply, want)
+		}
+	}
+	// Sequential sessions close before the next opens, so the least-loaded
+	// rule with deterministic tie-break pins them to "a"; both backends are
+	// reachable in principle. Just assert traffic flowed.
+	if len(seen) == 0 {
+		t.Error("no backend reached")
+	}
+}

@@ -1,0 +1,106 @@
+package metadata
+
+import "sync"
+
+import "u1/internal/protocol"
+
+// contentRegistry is the cross-shard catalog of unique file contents keyed by
+// SHA-1. U1 applies file-based cross-user deduplication (§3.3): before a
+// client uploads, the server checks whether the hash already exists; on a hit
+// the new file is logically linked to the existing content and no transfer
+// happens. Reference counts decide when a blob may be garbage collected from
+// the data store.
+type contentRegistry struct {
+	mu   sync.RWMutex
+	rows map[protocol.Hash]*contentRow
+
+	// logicalBytes counts every reference's size (what users think they
+	// store); uniqueBytes counts stored-once sizes. Their ratio yields the
+	// paper's deduplication ratio dr = 1 − unique/total (§5.3).
+	logicalBytes uint64
+	uniqueBytes  uint64
+}
+
+type contentRow struct {
+	size uint64
+	refs int64
+}
+
+func newContentRegistry() *contentRegistry {
+	return &contentRegistry{rows: make(map[protocol.Hash]*contentRow)}
+}
+
+// lookup reports whether the hash is already stored, and its size.
+func (c *contentRegistry) lookup(h protocol.Hash) (size uint64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	row, ok := c.rows[h]
+	if !ok {
+		return 0, false
+	}
+	return row.size, true
+}
+
+// addRef links one more file to the content, creating the row when the
+// content is new. It returns true when the content was already present (a
+// dedup hit).
+func (c *contentRegistry) addRef(h protocol.Hash, size uint64) (existed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row, ok := c.rows[h]
+	if ok {
+		row.refs++
+		c.logicalBytes += row.size
+		return true
+	}
+	c.rows[h] = &contentRow{size: size, refs: 1}
+	c.logicalBytes += size
+	c.uniqueBytes += size
+	return false
+}
+
+// release drops one reference. When the last reference goes away the row is
+// removed and release returns true: the caller should delete the blob from
+// the data store.
+func (c *contentRegistry) release(h protocol.Hash) (freed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row, ok := c.rows[h]
+	if !ok {
+		return false
+	}
+	row.refs--
+	c.logicalBytes -= row.size
+	if row.refs > 0 {
+		return false
+	}
+	c.uniqueBytes -= row.size
+	delete(c.rows, h)
+	return true
+}
+
+// ContentStats summarizes the dedup catalog.
+type ContentStats struct {
+	UniqueContents int
+	LogicalBytes   uint64
+	UniqueBytes    uint64
+}
+
+// DedupRatio returns dr = 1 − unique/total bytes, the paper's §5.3 metric
+// (0.171 over the U1 month).
+func (s ContentStats) DedupRatio() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.UniqueBytes)/float64(s.LogicalBytes)
+}
+
+func (c *contentRegistry) stats() *ContentStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return &ContentStats{
+		UniqueContents: len(c.rows),
+		LogicalBytes:   c.logicalBytes,
+		UniqueBytes:    c.uniqueBytes,
+	}
+}

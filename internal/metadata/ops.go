@@ -1,0 +1,794 @@
+package metadata
+
+import (
+	"fmt"
+	"sort"
+
+	"u1/internal/protocol"
+)
+
+// UserData summarizes a user's account state (dal.get_user_data).
+type UserData struct {
+	ID         protocol.UserID
+	RootVolume protocol.VolumeID
+	Volumes    int
+	SharesIn   int
+	SharesOut  int
+}
+
+// CreateUser provisions an account: the user row, the root volume (id
+// reported to clients as their volume 0 equivalent) and its root directory.
+// Creating an existing user is idempotent and returns the existing root
+// volume, so client re-installs do not error.
+func (s *Store) CreateUser(user protocol.UserID) (protocol.VolumeInfo, error) {
+	sh := s.shardOf(user)
+	sh.writeOp()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if u, ok := sh.users[user]; ok {
+		return sh.volumes[u.root].info, nil
+	}
+	vol := s.newVolumeLocked(sh, user, protocol.VolumeRoot, "~/Ubuntu One")
+	sh.users[user] = &userRow{
+		id:        user,
+		root:      vol.info.ID,
+		volumes:   map[protocol.VolumeID]struct{}{vol.info.ID: {}},
+		sharesIn:  make(map[protocol.ShareID]struct{}),
+		sharesOut: make(map[protocol.ShareID]struct{}),
+	}
+	return vol.info, nil
+}
+
+// newVolumeLocked allocates a volume plus its root directory inside sh, which
+// must be write-locked.
+func (s *Store) newVolumeLocked(sh *shard, owner protocol.UserID, typ protocol.VolumeType, path string) *volumeRow {
+	volID := s.allocVolume()
+	rootID := s.allocNode()
+	root := &nodeRow{
+		info: protocol.NodeInfo{
+			ID:     rootID,
+			Volume: volID,
+			Kind:   protocol.KindDir,
+			Name:   "/",
+		},
+		children: make(map[string]protocol.NodeID),
+	}
+	vol := &volumeRow{
+		info: protocol.VolumeInfo{
+			ID:    volID,
+			Type:  typ,
+			Path:  path,
+			Owner: owner,
+		},
+		root:   rootID,
+		nodes:  map[protocol.NodeID]struct{}{rootID: {}},
+		grants: make(map[protocol.UserID]protocol.ShareID),
+	}
+	sh.nodes[rootID] = root
+	sh.volumes[volID] = vol
+	s.volumeDir.Store(volID, owner)
+	return vol
+}
+
+// GetUserData returns the account summary (dal.get_user_data).
+func (s *Store) GetUserData(user protocol.UserID) (UserData, error) {
+	sh := s.shardOf(user)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	u, ok := sh.users[user]
+	if !ok {
+		return UserData{}, protocol.ErrNotFound
+	}
+	return UserData{
+		ID:         user,
+		RootVolume: u.root,
+		Volumes:    len(u.volumes),
+		SharesIn:   len(u.sharesIn),
+		SharesOut:  len(u.sharesOut),
+	}, nil
+}
+
+// ownerOf resolves the owner of a volume through the volume directory.
+func (s *Store) ownerOf(vol protocol.VolumeID) (protocol.UserID, error) {
+	v, ok := s.volumeDir.Load(vol)
+	if !ok {
+		return 0, protocol.ErrNotFound
+	}
+	return v.(protocol.UserID), nil
+}
+
+// checkAccessLocked verifies that user may operate on vol (owned or granted
+// through an accepted share; write access requires a non-read-only grant).
+// The owner shard must already be locked.
+func checkAccessLocked(sh *shard, vr *volumeRow, user protocol.UserID, write bool) error {
+	if vr.info.Owner == user {
+		return nil
+	}
+	shareID, ok := vr.grants[user]
+	if !ok {
+		return protocol.ErrPermission
+	}
+	share, ok := sh.shares[shareID]
+	if !ok || !share.Accepted {
+		return protocol.ErrPermission
+	}
+	if write && share.ReadOnly {
+		return protocol.ErrPermission
+	}
+	return nil
+}
+
+// ListVolumes lists all volumes of a user: root, UDFs and accepted shared
+// volumes (dal.list_volumes; performed at session start, Table 2).
+func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error) {
+	sh := s.shardOf(user)
+	sh.readOp()
+	sh.mu.RLock()
+	u, ok := sh.users[user]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, protocol.ErrNotFound
+	}
+	out := make([]protocol.VolumeInfo, 0, len(u.volumes)+len(u.sharesIn))
+	for volID := range u.volumes {
+		out = append(out, sh.volumes[volID].info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	// Collect accepted incoming shares; their volumes may live in other
+	// shards, so resolve them after releasing this shard's lock.
+	var sharedVols []protocol.VolumeID
+	for shareID := range u.sharesIn {
+		if share, ok := sh.shares[shareID]; ok && share.Accepted {
+			sharedVols = append(sharedVols, share.Volume)
+		}
+	}
+	sh.mu.RUnlock()
+	sort.Slice(sharedVols, func(i, j int) bool { return sharedVols[i] < sharedVols[j] })
+
+	for _, volID := range sharedVols {
+		owner, err := s.ownerOf(volID)
+		if err != nil {
+			continue // volume deleted concurrently
+		}
+		osh := s.shardOf(owner)
+		osh.readOp()
+		osh.mu.RLock()
+		if vr, ok := osh.volumes[volID]; ok {
+			info := vr.info
+			info.Type = protocol.VolumeShared
+			out = append(out, info)
+		}
+		osh.mu.RUnlock()
+	}
+	return out, nil
+}
+
+// ListShares lists sharing grants involving the user, both received and
+// offered (dal.list_shares, Table 2).
+func (s *Store) ListShares(user protocol.UserID) ([]protocol.ShareInfo, error) {
+	sh := s.shardOf(user)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	u, ok := sh.users[user]
+	if !ok {
+		return nil, protocol.ErrNotFound
+	}
+	out := make([]protocol.ShareInfo, 0, len(u.sharesIn)+len(u.sharesOut))
+	for id := range u.sharesIn {
+		if share, ok := sh.shares[id]; ok {
+			out = append(out, *share)
+		}
+	}
+	for id := range u.sharesOut {
+		if share, ok := sh.shares[id]; ok {
+			out = append(out, *share)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// CreateUDF creates a user-defined volume (dal.create_udf).
+func (s *Store) CreateUDF(user protocol.UserID, path string) (protocol.VolumeInfo, error) {
+	if path == "" {
+		return protocol.VolumeInfo{}, fmt.Errorf("%w: empty UDF path", protocol.ErrBadRequest)
+	}
+	sh := s.shardOf(user)
+	sh.writeOp()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	u, ok := sh.users[user]
+	if !ok {
+		return protocol.VolumeInfo{}, protocol.ErrNotFound
+	}
+	for volID := range u.volumes {
+		if sh.volumes[volID].info.Path == path {
+			return protocol.VolumeInfo{}, fmt.Errorf("%w: UDF %q", protocol.ErrExists, path)
+		}
+	}
+	vol := s.newVolumeLocked(sh, user, protocol.VolumeUDF, path)
+	u.volumes[vol.info.ID] = struct{}{}
+	return vol.info, nil
+}
+
+// GetVolume returns a volume's metadata (dal.get_volume_id).
+func (s *Store) GetVolume(user protocol.UserID, vol protocol.VolumeID) (protocol.VolumeInfo, error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return protocol.VolumeInfo{}, err
+	}
+	sh := s.shardOf(owner)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return protocol.VolumeInfo{}, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, false); err != nil {
+		return protocol.VolumeInfo{}, err
+	}
+	return vr.info, nil
+}
+
+// DeleteVolume removes a volume and every node it contains — the cascade RPC
+// the paper singles out as the slowest class (dal.delete_volume, Fig. 13).
+// It returns the nodes removed so the caller can release blobs and notify
+// clients, and the hashes whose last reference went away.
+func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (removed []protocol.NodeInfo, freed []protocol.Hash, err error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return nil, nil, err
+	}
+	if owner != user {
+		return nil, nil, protocol.ErrPermission // only owners delete volumes
+	}
+	sh := s.shardOf(owner)
+	sh.writeOp()
+	sh.mu.Lock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, nil, protocol.ErrNotFound
+	}
+	if vr.info.Type == protocol.VolumeRoot {
+		sh.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: cannot delete the root volume", protocol.ErrBadRequest)
+	}
+	// Collect and remove all nodes.
+	for nodeID := range vr.nodes {
+		nr := sh.nodes[nodeID]
+		removed = append(removed, nr.info)
+		delete(sh.nodes, nodeID)
+	}
+	delete(sh.volumes, vol)
+	if u := sh.users[user]; u != nil {
+		delete(u.volumes, vol)
+	}
+	// Tear down grants; the share rows of grantees live in their shards and
+	// are cleaned up after this lock is released.
+	grantees := make(map[protocol.UserID]protocol.ShareID, len(vr.grants))
+	for grantee, shareID := range vr.grants {
+		grantees[grantee] = shareID
+		delete(sh.shares, shareID)
+		if u := sh.users[user]; u != nil {
+			delete(u.sharesOut, shareID)
+		}
+	}
+	sh.mu.Unlock()
+	s.volumeDir.Delete(vol)
+
+	for grantee, shareID := range grantees {
+		gsh := s.shardOf(grantee)
+		if gsh == sh {
+			continue // already cleaned while holding sh
+		}
+		gsh.writeOp()
+		gsh.mu.Lock()
+		delete(gsh.shares, shareID)
+		if gu := gsh.users[grantee]; gu != nil {
+			delete(gu.sharesIn, shareID)
+		}
+		gsh.mu.Unlock()
+	}
+
+	// Release content references outside any shard lock.
+	for _, n := range removed {
+		if n.Kind == protocol.KindFile && !n.Hash.IsZero() {
+			if s.contents.release(n.Hash) {
+				freed = append(freed, n.Hash)
+			}
+		}
+	}
+	return removed, freed, nil
+}
+
+// makeNode implements MakeFile and MakeDir (dal.make_file / dal.make_dir).
+// Creating a node that already exists under the same parent and kind is
+// idempotent and returns the existing node: clients re-send Make before
+// uploads (Table 2: "normally precedes a file upload").
+func (s *Store) makeNode(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, kind protocol.NodeKind) (protocol.NodeInfo, error) {
+	if name == "" {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: empty node name", protocol.ErrBadRequest)
+	}
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	sh := s.shardOf(owner)
+	sh.writeOp()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return protocol.NodeInfo{}, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, true); err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	if parent == 0 {
+		parent = vr.root
+	}
+	pr, ok := sh.nodes[parent]
+	if !ok || pr.info.Volume != vol {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: parent node", protocol.ErrNotFound)
+	}
+	if pr.info.Kind != protocol.KindDir {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: parent is a file", protocol.ErrBadRequest)
+	}
+	if existingID, ok := pr.children[name]; ok {
+		existing := sh.nodes[existingID]
+		if existing.info.Kind == kind {
+			return existing.info, nil
+		}
+		return protocol.NodeInfo{}, fmt.Errorf("%w: %q exists with different kind", protocol.ErrExists, name)
+	}
+	nr := &nodeRow{
+		info: protocol.NodeInfo{
+			ID:     s.allocNode(),
+			Volume: vol,
+			Parent: parent,
+			Kind:   kind,
+			Name:   name,
+		},
+	}
+	if kind == protocol.KindDir {
+		nr.children = make(map[string]protocol.NodeID)
+	}
+	gen := vr.bumpGen()
+	nr.info.Generation = gen
+	sh.nodes[nr.info.ID] = nr
+	vr.nodes[nr.info.ID] = struct{}{}
+	pr.children[name] = nr.info.ID
+	vr.appendLog(sh.deltaLogLimit, nr.info, false)
+	return nr.info, nil
+}
+
+// MakeFile creates a file node ("touch"); see makeNode.
+func (s *Store) MakeFile(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string) (protocol.NodeInfo, error) {
+	return s.makeNode(user, vol, parent, name, protocol.KindFile)
+}
+
+// MakeDir creates a directory node; see makeNode.
+func (s *Store) MakeDir(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string) (protocol.NodeInfo, error) {
+	return s.makeNode(user, vol, parent, name, protocol.KindDir)
+}
+
+// MakeContent attaches uploaded content to a file node (dal.make_content,
+// "the equivalent of an inode"). It maintains dedup reference counts: the old
+// content of an updated file is released, the new one referenced. It returns
+// the node's new state, the hash freed if the old content lost its last
+// reference, and whether this write was an update of existing content — the
+// event class behind 18.5% of U1's upload traffic (§5.1).
+func (s *Store) MakeContent(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64) (info protocol.NodeInfo, freed *protocol.Hash, wasUpdate bool, err error) {
+	if h.IsZero() {
+		return protocol.NodeInfo{}, nil, false, fmt.Errorf("%w: zero content hash", protocol.ErrBadRequest)
+	}
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return protocol.NodeInfo{}, nil, false, err
+	}
+	sh := s.shardOf(owner)
+	sh.writeOp()
+	sh.mu.Lock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		sh.mu.Unlock()
+		return protocol.NodeInfo{}, nil, false, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, true); err != nil {
+		sh.mu.Unlock()
+		return protocol.NodeInfo{}, nil, false, err
+	}
+	nr, ok := sh.nodes[node]
+	if !ok || nr.info.Volume != vol {
+		sh.mu.Unlock()
+		return protocol.NodeInfo{}, nil, false, protocol.ErrNotFound
+	}
+	if nr.info.Kind != protocol.KindFile {
+		sh.mu.Unlock()
+		return protocol.NodeInfo{}, nil, false, fmt.Errorf("%w: content on a directory", protocol.ErrBadRequest)
+	}
+	oldHash := nr.info.Hash
+	wasUpdate = !oldHash.IsZero() && (oldHash != h || nr.info.Size != size)
+	nr.info.Hash = h
+	nr.info.Size = size
+	nr.info.Generation = vr.bumpGen()
+	vr.appendLog(sh.deltaLogLimit, nr.info, false)
+	info = nr.info
+	sh.mu.Unlock()
+
+	s.contents.addRef(h, size)
+	if !oldHash.IsZero() && oldHash != h {
+		if s.contents.release(oldHash) {
+			freed = &oldHash
+		}
+	}
+	return info, freed, wasUpdate, nil
+}
+
+// VolumeWatchers returns the users that must be notified when vol changes:
+// the owner plus every grantee with an accepted share. API servers fan
+// change events out to the watchers' sessions (§3.4.2).
+func (s *Store) VolumeWatchers(vol protocol.VolumeID) ([]protocol.UserID, error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return nil, err
+	}
+	sh := s.shardOf(owner)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return nil, protocol.ErrNotFound
+	}
+	out := []protocol.UserID{owner}
+	for grantee, shareID := range vr.grants {
+		if share, ok := sh.shares[shareID]; ok && share.Accepted {
+			out = append(out, grantee)
+		}
+	}
+	sort.Slice(out[1:], func(i, j int) bool { return out[i+1] < out[j+1] })
+	return out, nil
+}
+
+// GetNode returns a node's metadata (dal.get_node).
+func (s *Store) GetNode(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID) (protocol.NodeInfo, error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	sh := s.shardOf(owner)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return protocol.NodeInfo{}, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, false); err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	nr, ok := sh.nodes[node]
+	if !ok || nr.info.Volume != vol {
+		return protocol.NodeInfo{}, protocol.ErrNotFound
+	}
+	return nr.info, nil
+}
+
+// GetRoot returns the root directory of the user's root volume
+// (dal.get_root).
+func (s *Store) GetRoot(user protocol.UserID) (protocol.NodeInfo, error) {
+	sh := s.shardOf(user)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	u, ok := sh.users[user]
+	if !ok {
+		return protocol.NodeInfo{}, protocol.ErrNotFound
+	}
+	vr := sh.volumes[u.root]
+	return sh.nodes[vr.root].info, nil
+}
+
+// Unlink deletes a node; deleting a directory cascades to its whole subtree
+// (dal.unlink_node; §5.2 observes that directory deletion explains matching
+// file/dir lifetime distributions). It returns every removed node, the new
+// volume generation, and the hashes whose last reference was released.
+func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID) (removed []protocol.NodeInfo, gen protocol.Generation, freed []protocol.Hash, err error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	sh := s.shardOf(owner)
+	sh.writeOp()
+	sh.mu.Lock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, 0, nil, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, true); err != nil {
+		sh.mu.Unlock()
+		return nil, 0, nil, err
+	}
+	nr, ok := sh.nodes[node]
+	if !ok || nr.info.Volume != vol {
+		sh.mu.Unlock()
+		return nil, 0, nil, protocol.ErrNotFound
+	}
+	if node == vr.root {
+		sh.mu.Unlock()
+		return nil, 0, nil, fmt.Errorf("%w: cannot unlink the volume root", protocol.ErrBadRequest)
+	}
+	// Depth-first collection of the subtree.
+	stack := []protocol.NodeID{node}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur := sh.nodes[id]
+		for _, child := range cur.children {
+			stack = append(stack, child)
+		}
+		removed = append(removed, cur.info)
+		delete(sh.nodes, id)
+		delete(vr.nodes, id)
+	}
+	// Detach from the parent's name index.
+	if pr, ok := sh.nodes[nr.info.Parent]; ok && pr.children != nil {
+		delete(pr.children, nr.info.Name)
+	}
+	gen = vr.bumpGen()
+	for i := range removed {
+		removed[i].Generation = gen
+		vr.appendLog(sh.deltaLogLimit, removed[i], true)
+	}
+	sh.mu.Unlock()
+
+	for _, n := range removed {
+		if n.Kind == protocol.KindFile && !n.Hash.IsZero() {
+			if s.contents.release(n.Hash) {
+				freed = append(freed, n.Hash)
+			}
+		}
+	}
+	return removed, gen, freed, nil
+}
+
+// Move re-parents or renames a node within its volume (dal.move).
+func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParent protocol.NodeID, newName string) (protocol.NodeInfo, error) {
+	if newName == "" {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: empty target name", protocol.ErrBadRequest)
+	}
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	sh := s.shardOf(owner)
+	sh.writeOp()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return protocol.NodeInfo{}, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, true); err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	nr, ok := sh.nodes[node]
+	if !ok || nr.info.Volume != vol {
+		return protocol.NodeInfo{}, protocol.ErrNotFound
+	}
+	if node == vr.root {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: cannot move the volume root", protocol.ErrBadRequest)
+	}
+	if newParent == 0 {
+		newParent = vr.root
+	}
+	pr, ok := sh.nodes[newParent]
+	if !ok || pr.info.Volume != vol || pr.info.Kind != protocol.KindDir {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: target directory", protocol.ErrNotFound)
+	}
+	if _, taken := pr.children[newName]; taken {
+		return protocol.NodeInfo{}, fmt.Errorf("%w: target name %q", protocol.ErrExists, newName)
+	}
+	// A directory must not be moved under its own subtree.
+	if nr.info.Kind == protocol.KindDir {
+		for cur := newParent; cur != 0; {
+			if cur == node {
+				return protocol.NodeInfo{}, fmt.Errorf("%w: move into own subtree", protocol.ErrBadRequest)
+			}
+			parentRow, ok := sh.nodes[cur]
+			if !ok {
+				break
+			}
+			cur = parentRow.info.Parent
+		}
+	}
+	if old, ok := sh.nodes[nr.info.Parent]; ok && old.children != nil {
+		delete(old.children, nr.info.Name)
+	}
+	nr.info.Parent = newParent
+	nr.info.Name = newName
+	nr.info.Generation = vr.bumpGen()
+	pr.children[newName] = node
+	vr.appendLog(sh.deltaLogLimit, nr.info, false)
+	return nr.info, nil
+}
+
+// GetDelta returns the changes of a volume after fromGen in generation order
+// (dal.get_delta). If the delta log no longer reaches back to fromGen it
+// fails with ErrDeltaTruncated and the caller performs GetFromScratch.
+func (s *Store) GetDelta(user protocol.UserID, vol protocol.VolumeID, fromGen protocol.Generation) ([]protocol.DeltaEntry, protocol.Generation, error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return nil, 0, err
+	}
+	sh := s.shardOf(owner)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return nil, 0, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, false); err != nil {
+		return nil, 0, err
+	}
+	if fromGen >= vr.info.Generation {
+		return nil, vr.info.Generation, nil
+	}
+	// The log can serve the request only if nothing after fromGen was
+	// discarded by the retention policy.
+	if fromGen < vr.droppedThrough {
+		return nil, vr.info.Generation, ErrDeltaTruncated
+	}
+	var out []protocol.DeltaEntry
+	for _, e := range vr.log {
+		if e.gen > fromGen {
+			out = append(out, protocol.DeltaEntry{Node: e.node, Deleted: e.deleted})
+		}
+	}
+	return out, vr.info.Generation, nil
+}
+
+// GetFromScratch lists the full contents of a volume — the expensive cascade
+// read clients fall back to when deltas are unavailable (dal.get_from_scratch).
+func (s *Store) GetFromScratch(user protocol.UserID, vol protocol.VolumeID) ([]protocol.NodeInfo, protocol.Generation, error) {
+	owner, err := s.ownerOf(vol)
+	if err != nil {
+		return nil, 0, err
+	}
+	sh := s.shardOf(owner)
+	sh.readOp()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vr, ok := sh.volumes[vol]
+	if !ok {
+		return nil, 0, protocol.ErrNotFound
+	}
+	if err := checkAccessLocked(sh, vr, user, false); err != nil {
+		return nil, 0, err
+	}
+	out := make([]protocol.NodeInfo, 0, len(vr.nodes))
+	for id := range vr.nodes {
+		out = append(out, sh.nodes[id].info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, vr.info.Generation, nil
+}
+
+// CreateShare offers a volume to another user (dal.create_share). The share
+// row is written to both the owner's and the grantee's shards — the only
+// operation class that must involve more than one shard (§3.4).
+func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to protocol.UserID, name string, readOnly bool) (protocol.ShareInfo, error) {
+	if owner == to {
+		return protocol.ShareInfo{}, fmt.Errorf("%w: sharing with oneself", protocol.ErrBadRequest)
+	}
+	volOwner, err := s.ownerOf(vol)
+	if err != nil {
+		return protocol.ShareInfo{}, err
+	}
+	if volOwner != owner {
+		return protocol.ShareInfo{}, protocol.ErrPermission
+	}
+	share := protocol.ShareInfo{
+		ID:       s.allocShare(),
+		Volume:   vol,
+		SharedBy: owner,
+		SharedTo: to,
+		Name:     name,
+		ReadOnly: readOnly,
+	}
+	osh, gsh := s.shardOf(owner), s.shardOf(to)
+	lockPair(osh, gsh)
+	defer unlockPair(osh, gsh)
+	osh.writeOp()
+	if osh != gsh {
+		gsh.writeOp()
+	}
+	vr, ok := osh.volumes[vol]
+	if !ok {
+		return protocol.ShareInfo{}, protocol.ErrNotFound
+	}
+	gu, ok := gsh.users[to]
+	if !ok {
+		return protocol.ShareInfo{}, fmt.Errorf("%w: grantee", protocol.ErrNotFound)
+	}
+	if _, dup := vr.grants[to]; dup {
+		return protocol.ShareInfo{}, fmt.Errorf("%w: already shared to %v", protocol.ErrExists, to)
+	}
+	ou := osh.users[owner]
+	shareCopy := share
+	osh.shares[share.ID] = &shareCopy
+	if osh != gsh {
+		shareCopy2 := share
+		gsh.shares[share.ID] = &shareCopy2
+	}
+	vr.grants[to] = share.ID
+	ou.sharesOut[share.ID] = struct{}{}
+	gu.sharesIn[share.ID] = struct{}{}
+	return share, nil
+}
+
+// AcceptShare marks a received share as accepted (dal.accept_share); only
+// then does the shared volume appear in the grantee's ListVolumes.
+func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol.ShareInfo, error) {
+	gsh := s.shardOf(user)
+	gsh.writeOp()
+	gsh.mu.Lock()
+	share, ok := gsh.shares[id]
+	if !ok || share.SharedTo != user {
+		gsh.mu.Unlock()
+		return protocol.ShareInfo{}, protocol.ErrNotFound
+	}
+	share.Accepted = true
+	owner := share.SharedBy
+	out := *share
+	gsh.mu.Unlock()
+
+	// Mirror the accepted flag in the owner's shard copy.
+	osh := s.shardOf(owner)
+	if osh != gsh {
+		osh.writeOp()
+		osh.mu.Lock()
+		if ownerCopy, ok := osh.shares[id]; ok {
+			ownerCopy.Accepted = true
+		}
+		osh.mu.Unlock()
+	}
+	return out, nil
+}
+
+// lockPair locks two shards in id order, avoiding deadlock between
+// concurrent cross-shard operations. Locking the same shard twice is a
+// single lock.
+func lockPair(a, b *shard) {
+	if a == b {
+		a.mu.Lock()
+		return
+	}
+	if a.id > b.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+}
+
+func unlockPair(a, b *shard) {
+	if a == b {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// LookupContent reports whether content with hash h is already stored and
+// its size (dal.get_reusable_content): the dedup check run before uploads.
+func (s *Store) LookupContent(h protocol.Hash) (size uint64, ok bool) {
+	return s.contents.lookup(h)
+}

@@ -1,0 +1,219 @@
+// Package metadata implements the U1 metadata store: the stand-in for the
+// PostgreSQL cluster of 20 Dell servers configured as 10 master/slave shards
+// described in §3.4 of the paper.
+//
+// The store routes every operation by user identifier to a shard, so the
+// metadata of a user's files and folders always lives in the same shard and
+// most operations touch exactly one shard without distributed locking
+// ("lockless" in the paper's wording). Only share-related operations may span
+// two shards. Read operations take the shard's read lock (the slave replica
+// serves them in the real deployment; both replicas hold identical data here
+// and the replica split is modeled for load accounting), while mutations take
+// the write lock (the master).
+//
+// Per-volume generations implement the synchronization protocol: every
+// mutation advances the owning volume's generation and appends to a bounded
+// delta log. Clients that fall behind the log horizon must rescan from
+// scratch — the expensive cascade read the paper calls get_from_scratch.
+package metadata
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"u1/internal/protocol"
+)
+
+// Config parameterizes the store.
+type Config struct {
+	// Shards is the number of database shards (the paper's deployment: 10).
+	Shards int
+	// DeltaLogLimit bounds the per-volume delta log. A GetDelta from before
+	// the horizon returns ErrDeltaTruncated and the caller falls back to
+	// GetFromScratch. 0 means DefaultDeltaLogLimit.
+	DeltaLogLimit int
+}
+
+// DefaultDeltaLogLimit is the per-volume delta log bound used when the
+// configuration does not specify one.
+const DefaultDeltaLogLimit = 512
+
+// ErrDeltaTruncated reports that the requested generation fell behind the
+// delta log horizon; the client must rescan the volume from scratch.
+var ErrDeltaTruncated = fmt.Errorf("%w: delta log truncated", protocol.ErrConflict)
+
+// Store is the sharded metadata store.
+type Store struct {
+	shards   []*shard
+	contents *contentRegistry
+
+	// volumeDir maps every live volume to its owner, the directory the
+	// request router consults to find the shard that holds a volume that is
+	// not the caller's (shared volumes may live in a different shard).
+	volumeDir sync.Map // protocol.VolumeID → protocol.UserID
+
+	nextVolume uint64
+	nextNode   uint64
+	nextShare  uint64
+	nextUpload uint64
+}
+
+// New creates a store with cfg. A zero config yields 10 shards, matching the
+// U1 deployment.
+func New(cfg Config) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 10
+	}
+	if cfg.DeltaLogLimit <= 0 {
+		cfg.DeltaLogLimit = DefaultDeltaLogLimit
+	}
+	s := &Store{
+		shards:   make([]*shard, cfg.Shards),
+		contents: newContentRegistry(),
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(i, cfg.DeltaLogLimit)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard index that owns the user's metadata. Routing
+// hashes the user id so placement is deterministic but uncorrelated with
+// registration order, as in the production router.
+func (s *Store) ShardFor(user protocol.UserID) int {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(user) >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+func (s *Store) shardOf(user protocol.UserID) *shard {
+	return s.shards[s.ShardFor(user)]
+}
+
+// ShardLoads returns per-shard cumulative (reads, writes) counters, the
+// instrumentation behind the Fig. 14 load-balance analysis at store level.
+func (s *Store) ShardLoads() (reads, writes []uint64) {
+	reads = make([]uint64, len(s.shards))
+	writes = make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		reads[i] = atomic.LoadUint64(&sh.reads)
+		writes[i] = atomic.LoadUint64(&sh.writes)
+	}
+	return reads, writes
+}
+
+// Contents exposes the content registry (dedup catalog).
+func (s *Store) Contents() *ContentStats { return s.contents.stats() }
+
+func (s *Store) allocVolume() protocol.VolumeID {
+	return protocol.VolumeID(atomic.AddUint64(&s.nextVolume, 1))
+}
+
+func (s *Store) allocNode() protocol.NodeID {
+	return protocol.NodeID(atomic.AddUint64(&s.nextNode, 1))
+}
+
+func (s *Store) allocShare() protocol.ShareID {
+	return protocol.ShareID(atomic.AddUint64(&s.nextShare, 1))
+}
+
+func (s *Store) allocUpload() protocol.UploadID {
+	return protocol.UploadID(atomic.AddUint64(&s.nextUpload, 1))
+}
+
+// shard is one master/slave pair of the cluster. The RWMutex models the
+// paper's access pattern: reads run lockless and in parallel on the slave,
+// writes serialize on the master. reads/writes counters feed load accounting.
+type shard struct {
+	id            int
+	deltaLogLimit int
+
+	mu         sync.RWMutex
+	users      map[protocol.UserID]*userRow
+	volumes    map[protocol.VolumeID]*volumeRow
+	nodes      map[protocol.NodeID]*nodeRow
+	shares     map[protocol.ShareID]*protocol.ShareInfo
+	uploadjobs map[protocol.UploadID]*UploadJob
+
+	reads  uint64 // atomic
+	writes uint64 // atomic
+}
+
+func newShard(id, deltaLogLimit int) *shard {
+	return &shard{
+		id:            id,
+		deltaLogLimit: deltaLogLimit,
+		users:         make(map[protocol.UserID]*userRow),
+		volumes:       make(map[protocol.VolumeID]*volumeRow),
+		nodes:         make(map[protocol.NodeID]*nodeRow),
+		shares:        make(map[protocol.ShareID]*protocol.ShareInfo),
+		uploadjobs:    make(map[protocol.UploadID]*UploadJob),
+	}
+}
+
+type userRow struct {
+	id   protocol.UserID
+	root protocol.VolumeID
+	// volumes owned by this user, including the root volume
+	volumes map[protocol.VolumeID]struct{}
+	// incoming shares (this user is the grantee)
+	sharesIn map[protocol.ShareID]struct{}
+	// outgoing shares (this user is the owner)
+	sharesOut map[protocol.ShareID]struct{}
+}
+
+type nodeRow struct {
+	info protocol.NodeInfo
+	// children indexes directory entries by name; nil for files
+	children map[string]protocol.NodeID
+}
+
+type logEntry struct {
+	gen     protocol.Generation
+	node    protocol.NodeInfo
+	deleted bool
+}
+
+type volumeRow struct {
+	info  protocol.VolumeInfo
+	root  protocol.NodeID
+	nodes map[protocol.NodeID]struct{}
+	log   []logEntry
+	// droppedThrough is the highest generation whose log entries may have
+	// been discarded; GetDelta can only serve fromGen ≥ droppedThrough.
+	droppedThrough protocol.Generation
+	// grants maps grantee user to the share id, for permission checks on
+	// shared volumes
+	grants map[protocol.UserID]protocol.ShareID
+}
+
+func (v *volumeRow) bumpGen() protocol.Generation {
+	v.info.Generation++
+	return v.info.Generation
+}
+
+func (v *volumeRow) appendLog(limit int, n protocol.NodeInfo, deleted bool) {
+	v.log = append(v.log, logEntry{gen: v.info.Generation, node: n, deleted: deleted})
+	if len(v.log) > limit {
+		// Drop the oldest half rather than one entry at a time; amortizes
+		// the copy and keeps a meaningful horizon. Entries sharing the
+		// boundary generation may survive the cut, but droppedThrough makes
+		// any delta spanning that generation fall back to a full rescan, so
+		// clients never observe a partial cascade.
+		drop := limit / 2
+		v.droppedThrough = v.log[drop-1].gen
+		v.log = append(v.log[:0:0], v.log[drop:]...)
+	}
+}
+
+func (s *shard) readOp()  { atomic.AddUint64(&s.reads, 1) }
+func (s *shard) writeOp() { atomic.AddUint64(&s.writes, 1) }

@@ -1,0 +1,119 @@
+// Package notify implements the inter-API-server event bus of §3.4.2: the
+// RabbitMQ stand-in. When an API server commits a change that other,
+// simultaneously connected clients must learn about (updates to shares, new
+// generations on a volume another device mirrors), it publishes an event.
+// Every registered API server receives every event on its own queue and
+// forwards it to the affected sessions it hosts. Delivery to live subscribers
+// is at-most-once; a full queue drops events (clients recover via the
+// generation comparison done on every connection, §3.4.2).
+package notify
+
+import (
+	"sync"
+
+	"u1/internal/protocol"
+)
+
+// Event is one inter-server notification.
+type Event struct {
+	// Kind mirrors the client push vocabulary.
+	Kind protocol.PushEvent
+	// User is the account whose sessions should be notified.
+	User protocol.UserID
+	// Volume and Generation describe volume-changed events.
+	Volume     protocol.VolumeID
+	Generation protocol.Generation
+	// Share carries the grant for share events.
+	Share protocol.ShareInfo
+	// Origin names the publishing API server. Servers still receive their
+	// own events (RabbitMQ fan-out semantics); the origin uses the local
+	// fast path for its own sessions and skips its queue copy.
+	Origin string
+	// ExcludeSession is the session that caused the event: it already knows.
+	ExcludeSession protocol.SessionID
+}
+
+// Counters tracks bus activity.
+type Counters struct {
+	Published uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// Broker is the fan-out exchange. One instance serves the whole back-end
+// (the U1 deployment ran a single RabbitMQ server).
+type Broker struct {
+	mu       sync.RWMutex
+	queues   map[string]chan Event
+	counters Counters
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{queues: make(map[string]chan Event)}
+}
+
+// Register creates (or replaces) the queue of an API server and returns its
+// receive channel. buffer bounds the queue depth; overflow drops events.
+func (b *Broker) Register(server string, buffer int) <-chan Event {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	q := make(chan Event, buffer)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old, ok := b.queues[server]; ok {
+		close(old)
+	}
+	b.queues[server] = q
+	return q
+}
+
+// Unregister removes a server's queue and closes its channel.
+func (b *Broker) Unregister(server string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if q, ok := b.queues[server]; ok {
+		close(q)
+		delete(b.queues, server)
+	}
+}
+
+// Publish fans the event out to every registered queue except the origin's
+// (the origin served its local sessions synchronously before publishing, the
+// same-process shortcut the paper's footnote 4 describes). Queue sends never
+// block: a full queue drops the event.
+func (b *Broker) Publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.counters.Published++
+	for name, q := range b.queues {
+		if name == e.Origin {
+			continue
+		}
+		select {
+		case q <- e:
+			b.counters.Delivered++
+		default:
+			b.counters.Dropped++
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Broker) Stats() Counters {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.counters
+}
+
+// Subscribers returns the names of registered servers, for diagnostics.
+func (b *Broker) Subscribers() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.queues))
+	for name := range b.queues {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package notify
+
+import (
+	"testing"
+
+	"u1/internal/protocol"
+)
+
+func TestFanOutExcludesOrigin(t *testing.T) {
+	b := NewBroker()
+	qa := b.Register("api-a", 8)
+	qb := b.Register("api-b", 8)
+	qc := b.Register("api-c", 8)
+
+	b.Publish(Event{Kind: protocol.PushVolumeChanged, User: 1, Volume: 2, Generation: 3, Origin: "api-a"})
+
+	select {
+	case e := <-qb:
+		if e.Volume != 2 || e.Generation != 3 {
+			t.Errorf("event = %+v", e)
+		}
+	default:
+		t.Error("api-b should have received the event")
+	}
+	select {
+	case <-qc:
+	default:
+		t.Error("api-c should have received the event")
+	}
+	select {
+	case <-qa:
+		t.Error("origin must not receive its own event")
+	default:
+	}
+	st := b.Stats()
+	if st.Published != 1 || st.Delivered != 2 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOverflowDrops(t *testing.T) {
+	b := NewBroker()
+	b.Register("slow", 1)
+	b.Publish(Event{Origin: "x"})
+	b.Publish(Event{Origin: "x"}) // queue full → dropped
+	st := b.Stats()
+	if st.Delivered != 1 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnregisterClosesQueue(t *testing.T) {
+	b := NewBroker()
+	q := b.Register("a", 4)
+	b.Unregister("a")
+	if _, open := <-q; open {
+		t.Error("queue should be closed")
+	}
+	// Publishing to an empty broker is fine.
+	b.Publish(Event{})
+	if len(b.Subscribers()) != 0 {
+		t.Error("no subscribers expected")
+	}
+}
+
+func TestReRegisterReplacesQueue(t *testing.T) {
+	b := NewBroker()
+	q1 := b.Register("a", 4)
+	q2 := b.Register("a", 4)
+	if _, open := <-q1; open {
+		t.Error("old queue should be closed on re-register")
+	}
+	b.Publish(Event{Origin: "other"})
+	select {
+	case <-q2:
+	default:
+		t.Error("new queue should receive")
+	}
+	if subs := b.Subscribers(); len(subs) != 1 || subs[0] != "a" {
+		t.Errorf("subscribers = %v", subs)
+	}
+}

@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"u1/internal/stats"
+)
+
+func TestLineRendering(t *testing.T) {
+	ys := make([]float64, 200)
+	for i := range ys {
+		ys[i] = float64(i % 24)
+	}
+	out := Line("hourly", ys, 60, 8)
+	if !strings.Contains(out, "hourly") || !strings.Contains(out, "*") {
+		t.Errorf("line chart:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // title + 8 rows + axis
+		t.Errorf("got %d lines", len(lines))
+	}
+	if Line("empty", nil, 60, 8) != "empty: (no data)\n" {
+		t.Error("empty series")
+	}
+	// Flat series must not divide by zero.
+	if out := Line("flat", []float64{5, 5, 5}, 20, 4); !strings.Contains(out, "*") {
+		t.Errorf("flat:\n%s", out)
+	}
+}
+
+func TestMultiLineLegend(t *testing.T) {
+	out := MultiLine("two", map[string][]float64{
+		"beta":  {1, 2, 3},
+		"alpha": {3, 2, 1},
+	}, 40, 6)
+	// Deterministic legend order: alpha before beta.
+	ia, ib := strings.Index(out, "alpha"), strings.Index(out, "beta")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("legend order:\n%s", out)
+	}
+	if MultiLine("none", nil, 40, 6) != "none: (no data)\n" {
+		t.Error("empty multiline")
+	}
+}
+
+func TestCDFSummary(t *testing.T) {
+	c := stats.NewCDF([]float64{1, 10, 100, 1000})
+	out := CDF("sizes", map[string]*stats.CDF{"all": c, "empty": stats.NewCDF(nil)}, 60)
+	if !strings.Contains(out, "n=4") || !strings.Contains(out, "(no data)") {
+		t.Errorf("cdf summary:\n%s", out)
+	}
+	if !strings.Contains(out, "p50=") {
+		t.Error("quantiles missing")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("ops", []string{"upload", "download"}, []float64{10, 20}, 30)
+	if !strings.Contains(out, "upload") || !strings.Contains(out, "#") {
+		t.Errorf("bars:\n%s", out)
+	}
+	if !strings.Contains(Bars("bad", []string{"a"}, nil, 30), "(no data)") {
+		t.Error("mismatched bars should degrade")
+	}
+}
+
+func TestSIUnits(t *testing.T) {
+	cases := map[float64]string{
+		1.5e12: "1.50T",
+		2e9:    "2.00G",
+		3.5e6:  "3.50M",
+		4.2e3:  "4.20k",
+		7:      "7",
+		0:      "0",
+		0.004:  "4m",
+		2e-6:   "2u",
+		3e-10:  "0.3n",
+	}
+	for in, want := range cases {
+		if got := SI(in); got != want {
+			t.Errorf("SI(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBucketMeans(t *testing.T) {
+	ys := []float64{1, 1, 3, 3}
+	got := bucketMeans(ys, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("bucketMeans = %v", got)
+	}
+	// Short series pass through.
+	if got := bucketMeans([]float64{7}, 10); len(got) != 1 || got[0] != 7 {
+		t.Errorf("short = %v", got)
+	}
+}

@@ -1,0 +1,114 @@
+package protocol
+
+import "fmt"
+
+// Op enumerates the client-facing API operations of Table 2. The trace
+// analysis (Figs. 7a, 8) classifies requests by this vocabulary.
+type Op uint8
+
+// API operations (Table 2).
+const (
+	OpAuthenticate Op = iota // create a session from an OAuth token
+	OpListVolumes            // list all volumes of a user
+	OpListShares             // list volumes of type shared
+	OpPutContent             // upload file contents (data operation)
+	OpGetContent             // download file contents (data operation)
+	OpMakeFile               // create a file node ("touch", precedes upload)
+	OpMakeDir                // create a directory node
+	OpUnlink                 // delete a file or directory
+	OpMove                   // move/rename a node
+	OpCreateUDF              // create a user-defined volume
+	OpDeleteVolume           // delete a volume and contained nodes
+	OpGetDelta               // fetch changes since a known generation
+	OpCreateShare            // offer a volume to another user
+	OpAcceptShare            // accept an offered share
+	OpPutPart                // stream one part of a multipart upload
+	OpGetPart                // fetch one part of a large download
+	OpPing                   // keepalive
+	OpCloseSession           // explicit session termination
+
+	numOps = int(OpCloseSession) + 1
+)
+
+var opNames = [numOps]string{
+	OpAuthenticate: "Authenticate",
+	OpListVolumes:  "ListVolumes",
+	OpListShares:   "ListShares",
+	OpPutContent:   "Upload",
+	OpGetContent:   "Download",
+	OpMakeFile:     "MakeFile",
+	OpMakeDir:      "MakeDir",
+	OpUnlink:       "Unlink",
+	OpMove:         "Move",
+	OpCreateUDF:    "CreateUDF",
+	OpDeleteVolume: "DeleteVolume",
+	OpGetDelta:     "GetDelta",
+	OpCreateShare:  "CreateShare",
+	OpAcceptShare:  "AcceptShare",
+	OpPutPart:      "PutPart",
+	OpGetPart:      "GetPart",
+	OpPing:         "Ping",
+	OpCloseSession: "CloseSession",
+}
+
+// String implements fmt.Stringer using the operation names of the paper's
+// figures (uploads and downloads are labeled Upload/Download in Fig. 7a).
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Ops returns all operations in declaration order, for analyses that iterate
+// the vocabulary.
+func Ops() []Op {
+	out := make([]Op, numOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}
+
+// ParseOp returns the operation with the given name as produced by String.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown operation %q", s)
+}
+
+// IsData reports whether the operation is a data-management operation
+// (involves a transfer to/from the data store) as opposed to a metadata
+// operation handled entirely by the synchronization service (§3.1.2). The
+// active-vs-online user distinction of §6.1 also counts volume and node
+// mutations as data management.
+func (o Op) IsData() bool {
+	switch o {
+	case OpPutContent, OpGetContent, OpPutPart, OpGetPart:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsDataManagement reports whether the op counts as "data management" for
+// the §6.1 active-user definition: transfers plus mutations of volumes and
+// nodes (uploading a file, creating a directory, deleting, moving...).
+func (o Op) IsDataManagement() bool {
+	switch o {
+	case OpPutContent, OpGetContent, OpMakeFile, OpMakeDir, OpUnlink,
+		OpMove, OpCreateUDF, OpDeleteVolume, OpCreateShare:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsSessionManagement reports whether the op manages the session lifecycle
+// (the request class that spikes during the DDoS events of §5.4).
+func (o Op) IsSessionManagement() bool {
+	return o == OpAuthenticate || o == OpPing || o == OpCloseSession
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import "fmt"
+
+// RPC enumerates the data-access-layer operations that API servers issue
+// against RPC servers, which translate them into metadata-store queries.
+// The vocabulary merges Table 2 (file-system management), Table 4 (upload
+// management) and the read-only RPCs of Fig. 12c.
+type RPC uint8
+
+// DAL RPC operations.
+const (
+	// File-system management (Table 2 / Fig. 12a).
+	RPCListVolumes  RPC = iota // dal.list_volumes
+	RPCListShares              // dal.list_shares
+	RPCMakeDir                 // dal.make_dir
+	RPCMakeFile                // dal.make_file
+	RPCUnlinkNode              // dal.unlink_node
+	RPCMove                    // dal.move
+	RPCCreateUDF               // dal.create_udf
+	RPCDeleteVolume            // dal.delete_volume (cascade)
+	RPCGetDelta                // dal.get_delta
+	RPCCreateShare             // dal.create_share
+	RPCAcceptShare             // dal.accept_share
+	RPCGetVolumeID             // dal.get_volume_id
+
+	// Upload management (Table 4 / Fig. 12b).
+	RPCAddPartToUploadJob      // dal.add_part_to_uploadjob
+	RPCDeleteUploadJob         // dal.delete_uploadjob
+	RPCGetReusableContent      // dal.get_reusable_content
+	RPCGetUploadJob            // dal.get_uploadjob
+	RPCMakeContent             // dal.make_content
+	RPCMakeUploadJob           // dal.make_uploadjob
+	RPCSetUploadJobMultipartID // dal.set_uploadjob_multipart_id
+	RPCTouchUploadJob          // dal.touch_uploadjob
+
+	// Other read-only RPCs (Fig. 12c).
+	RPCGetUserIDFromToken // auth.get_user_id_from_token
+	RPCGetFromScratch     // dal.get_from_scratch (cascade read of a full volume)
+	RPCGetNode            // dal.get_node
+	RPCGetRoot            // dal.get_root
+	RPCGetUserData        // dal.get_user_data
+
+	numRPCs = int(RPCGetUserData) + 1
+)
+
+var rpcNames = [numRPCs]string{
+	RPCListVolumes:             "dal.list_volumes",
+	RPCListShares:              "dal.list_shares",
+	RPCMakeDir:                 "dal.make_dir",
+	RPCMakeFile:                "dal.make_file",
+	RPCUnlinkNode:              "dal.unlink_node",
+	RPCMove:                    "dal.move",
+	RPCCreateUDF:               "dal.create_udf",
+	RPCDeleteVolume:            "dal.delete_volume",
+	RPCGetDelta:                "dal.get_delta",
+	RPCCreateShare:             "dal.create_share",
+	RPCAcceptShare:             "dal.accept_share",
+	RPCGetVolumeID:             "dal.get_volume_id",
+	RPCAddPartToUploadJob:      "dal.add_part_to_uploadjob",
+	RPCDeleteUploadJob:         "dal.delete_uploadjob",
+	RPCGetReusableContent:      "dal.get_reusable_content",
+	RPCGetUploadJob:            "dal.get_uploadjob",
+	RPCMakeContent:             "dal.make_content",
+	RPCMakeUploadJob:           "dal.make_uploadjob",
+	RPCSetUploadJobMultipartID: "dal.set_uploadjob_multipart_id",
+	RPCTouchUploadJob:          "dal.touch_uploadjob",
+	RPCGetUserIDFromToken:      "auth.get_user_id_from_token",
+	RPCGetFromScratch:          "dal.get_from_scratch",
+	RPCGetNode:                 "dal.get_node",
+	RPCGetRoot:                 "dal.get_root",
+	RPCGetUserData:             "dal.get_user_data",
+}
+
+// String implements fmt.Stringer using the dal.* names of the paper.
+func (r RPC) String() string {
+	if int(r) < len(rpcNames) && rpcNames[r] != "" {
+		return rpcNames[r]
+	}
+	return fmt.Sprintf("rpc(%d)", uint8(r))
+}
+
+// RPCs returns the full RPC vocabulary in declaration order.
+func RPCs() []RPC {
+	out := make([]RPC, numRPCs)
+	for i := range out {
+		out[i] = RPC(i)
+	}
+	return out
+}
+
+// ParseRPC returns the RPC with the given dal.* name.
+func ParseRPC(s string) (RPC, error) {
+	for i, n := range rpcNames {
+		if n == s {
+			return RPC(i), nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown RPC %q", s)
+}
+
+// RPCClass is the three-way classification of Fig. 13: read RPCs exploit
+// lockless parallel access to shard replicas and are fastest; write/update/
+// delete RPCs go to shard masters; cascade RPCs touch many rows (or even
+// multiple shards) and are more than an order of magnitude slower.
+type RPCClass uint8
+
+// RPC classes.
+const (
+	ClassRead RPCClass = iota
+	ClassWrite
+	ClassCascade
+)
+
+// String implements fmt.Stringer.
+func (c RPCClass) String() string {
+	switch c {
+	case ClassRead:
+		return "read"
+	case ClassWrite:
+		return "write/update/delete"
+	case ClassCascade:
+		return "cascade"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Class returns the Fig. 13 class of the RPC. delete_volume and
+// get_from_scratch are the two cascade operations called out by the paper.
+func (r RPC) Class() RPCClass {
+	switch r {
+	case RPCDeleteVolume, RPCGetFromScratch:
+		return ClassCascade
+	case RPCMakeDir, RPCMakeFile, RPCUnlinkNode, RPCMove, RPCCreateUDF,
+		RPCCreateShare, RPCAcceptShare, RPCAddPartToUploadJob,
+		RPCDeleteUploadJob, RPCMakeContent, RPCMakeUploadJob,
+		RPCSetUploadJobMultipartID, RPCTouchUploadJob:
+		return ClassWrite
+	default:
+		return ClassRead
+	}
+}
+
+// FigureGroup returns which Fig. 12 panel the RPC belongs to: "fs" (12a,
+// file-system management), "upload" (12b) or "other" (12c).
+func (r RPC) FigureGroup() string {
+	switch r {
+	case RPCListVolumes, RPCListShares, RPCMakeDir, RPCMakeFile, RPCUnlinkNode,
+		RPCMove, RPCCreateUDF, RPCDeleteVolume, RPCGetDelta, RPCGetVolumeID:
+		return "fs"
+	case RPCAddPartToUploadJob, RPCDeleteUploadJob, RPCGetReusableContent,
+		RPCGetUploadJob, RPCMakeContent, RPCMakeUploadJob,
+		RPCSetUploadJobMultipartID, RPCTouchUploadJob:
+		return "upload"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,112 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the result code carried on every response.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK Status = iota
+	StatusAuthFailed
+	StatusNotFound
+	StatusExists
+	StatusPermission
+	StatusBadRequest
+	StatusUnavailable
+	StatusConflict
+	StatusQuota
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusAuthFailed:
+		return "auth failed"
+	case StatusNotFound:
+		return "not found"
+	case StatusExists:
+		return "already exists"
+	case StatusPermission:
+		return "permission denied"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusConflict:
+		return "conflict"
+	case StatusQuota:
+		return "quota exceeded"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Sentinel errors mirroring the status codes; server components return these
+// and the API layer maps them onto the wire with StatusOf.
+var (
+	ErrAuthFailed  = errors.New("protocol: authentication failed")
+	ErrNotFound    = errors.New("protocol: not found")
+	ErrExists      = errors.New("protocol: already exists")
+	ErrPermission  = errors.New("protocol: permission denied")
+	ErrBadRequest  = errors.New("protocol: bad request")
+	ErrUnavailable = errors.New("protocol: service unavailable")
+	ErrConflict    = errors.New("protocol: conflict")
+	ErrQuota       = errors.New("protocol: quota exceeded")
+)
+
+// StatusOf maps an error to its wire status. Unknown errors map to
+// StatusUnavailable, never leaking internals to clients.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrAuthFailed):
+		return StatusAuthFailed
+	case errors.Is(err, ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, ErrExists):
+		return StatusExists
+	case errors.Is(err, ErrPermission):
+		return StatusPermission
+	case errors.Is(err, ErrBadRequest):
+		return StatusBadRequest
+	case errors.Is(err, ErrConflict):
+		return StatusConflict
+	case errors.Is(err, ErrQuota):
+		return StatusQuota
+	default:
+		return StatusUnavailable
+	}
+}
+
+// Err converts a non-OK status back into its sentinel error; StatusOK yields
+// nil. Round-tripping StatusOf and Err preserves error identity for the
+// sentinel set.
+func (s Status) Err() error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusAuthFailed:
+		return ErrAuthFailed
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusExists:
+		return ErrExists
+	case StatusPermission:
+		return ErrPermission
+	case StatusBadRequest:
+		return ErrBadRequest
+	case StatusConflict:
+		return ErrConflict
+	case StatusQuota:
+		return ErrQuota
+	default:
+		return ErrUnavailable
+	}
+}

@@ -1,0 +1,341 @@
+// Package rpc implements the DAL tier of §3.4: the RPC database workers that
+// API servers call to access the metadata store. Workers translate RPC calls
+// into store queries, route them to the right shard by user id, and are the
+// instrumentation point for the paper's back-end performance analysis: every
+// call emits a Span carrying the RPC name, shard, worker process and service
+// time (Figs. 12, 13, 14).
+//
+// Service times follow a calibrated model: per-class lognormal bodies with
+// Pareto tails, reproducing the long-tailed distributions of Fig. 12 (7–22%
+// of service times far from the median) and the class separation of Fig. 13
+// (cascade RPCs more than an order of magnitude slower than reads).
+package rpc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"u1/internal/dist"
+	"u1/internal/metadata"
+	"u1/internal/protocol"
+)
+
+// Span records one RPC against the metadata store.
+type Span struct {
+	RPC     protocol.RPC
+	Class   protocol.RPCClass
+	Shard   int
+	Proc    int // RPC worker process index
+	User    protocol.UserID
+	Start   time.Time
+	Service time.Duration
+	Err     error
+}
+
+// Observer receives spans; the trace collector registers one.
+type Observer func(Span)
+
+// LatencyModel samples a service time for an RPC class.
+type LatencyModel interface {
+	Sample(r *rand.Rand, class protocol.RPCClass) time.Duration
+}
+
+// PaperLatency is the calibrated three-class model. Values target the medians
+// and tail mass of Figs. 12–13.
+type PaperLatency struct {
+	read, write, cascade dist.Sampler
+}
+
+// NewPaperLatency builds the default calibrated model.
+func NewPaperLatency() *PaperLatency {
+	return &PaperLatency{
+		// Read RPCs: median ≈ 3 ms, lockless parallel access keeps the body
+		// tight; ~8% of calls land in a heavy tail.
+		read: dist.ParetoTailed{
+			Body:  dist.LognormalFromMedian(3e-3, 2.2),
+			Tail:  dist.Pareto{Xm: 30e-3, Alpha: 1.2},
+			TailP: 0.08,
+		},
+		// Write/update/delete: master-side work, median ≈ 12 ms, ~12% tail.
+		write: dist.ParetoTailed{
+			Body:  dist.LognormalFromMedian(12e-3, 2.5),
+			Tail:  dist.Pareto{Xm: 100e-3, Alpha: 1.2},
+			TailP: 0.12,
+		},
+		// Cascade: touches many rows (delete_volume, get_from_scratch);
+		// median ≈ 150 ms and the fattest tail (~20%).
+		cascade: dist.ParetoTailed{
+			Body:  dist.LognormalFromMedian(150e-3, 2.8),
+			Tail:  dist.Pareto{Xm: 1.2, Alpha: 1.3},
+			TailP: 0.20,
+		},
+	}
+}
+
+// Sample implements LatencyModel.
+func (m *PaperLatency) Sample(r *rand.Rand, class protocol.RPCClass) time.Duration {
+	var s dist.Sampler
+	switch class {
+	case protocol.ClassCascade:
+		s = m.cascade
+	case protocol.ClassWrite:
+		s = m.write
+	default:
+		s = m.read
+	}
+	return time.Duration(s.Sample(r) * float64(time.Second))
+}
+
+// Config parameterizes the RPC tier.
+type Config struct {
+	// Procs is the number of RPC worker processes. The deployment ran 8–16
+	// processes on each of 6 machines; the default is 48.
+	Procs int
+	// Latency overrides the service-time model (nil → NewPaperLatency).
+	Latency LatencyModel
+	// Seed makes the latency sampling reproducible.
+	Seed int64
+	// RealSleep makes calls actually take their sampled service time. The
+	// TCP server enables it; the simulator keeps time virtual.
+	RealSleep bool
+}
+
+// Server is the RPC tier facade over the metadata store.
+type Server struct {
+	store *metadata.Store
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	observers []Observer
+	nextProc  uint64
+	procOps   []uint64 // per-process op counters (atomic)
+}
+
+// NewServer creates the tier. Observers must be registered before traffic
+// starts (AddObserver is not synchronized with calls, mirroring how the trace
+// collector was wired into the production processes at startup).
+func NewServer(store *metadata.Store, cfg Config) *Server {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 48
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = NewPaperLatency()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Server{
+		store:   store,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		procOps: make([]uint64, cfg.Procs),
+	}
+}
+
+// Store exposes the underlying metadata store (for provisioning paths that
+// predate the trace window, e.g. account creation).
+func (s *Server) Store() *metadata.Store { return s.store }
+
+// AddObserver registers a span observer.
+func (s *Server) AddObserver(o Observer) { s.observers = append(s.observers, o) }
+
+// ProcLoads returns cumulative operations per RPC worker process.
+func (s *Server) ProcLoads() []uint64 {
+	out := make([]uint64, len(s.procOps))
+	for i := range out {
+		out[i] = atomic.LoadUint64(&s.procOps[i])
+	}
+	return out
+}
+
+// call wraps one store access with worker selection, latency sampling, span
+// emission and optional real sleeping. It returns the sampled service time.
+func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, err error) time.Duration {
+	proc := int(atomic.AddUint64(&s.nextProc, 1)) % len(s.procOps)
+	atomic.AddUint64(&s.procOps[proc], 1)
+
+	s.mu.Lock()
+	service := s.cfg.Latency.Sample(s.rng, op.Class())
+	s.mu.Unlock()
+
+	span := Span{
+		RPC:     op,
+		Class:   op.Class(),
+		Shard:   s.store.ShardFor(user),
+		Proc:    proc,
+		User:    user,
+		Start:   now,
+		Service: service,
+		Err:     err,
+	}
+	for _, o := range s.observers {
+		o(span)
+	}
+	if s.cfg.RealSleep {
+		time.Sleep(service)
+	}
+	return service
+}
+
+// --- File-system management RPCs (Table 2, Fig. 12a) ---
+
+// ListVolumes executes dal.list_volumes.
+func (s *Server) ListVolumes(user protocol.UserID, now time.Time) ([]protocol.VolumeInfo, time.Duration, error) {
+	out, err := s.store.ListVolumes(user)
+	return out, s.call(protocol.RPCListVolumes, user, now, err), err
+}
+
+// ListShares executes dal.list_shares.
+func (s *Server) ListShares(user protocol.UserID, now time.Time) ([]protocol.ShareInfo, time.Duration, error) {
+	out, err := s.store.ListShares(user)
+	return out, s.call(protocol.RPCListShares, user, now, err), err
+}
+
+// MakeDir executes dal.make_dir.
+func (s *Server) MakeDir(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+	out, err := s.store.MakeDir(user, vol, parent, name)
+	return out, s.call(protocol.RPCMakeDir, user, now, err), err
+}
+
+// MakeFile executes dal.make_file.
+func (s *Server) MakeFile(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+	out, err := s.store.MakeFile(user, vol, parent, name)
+	return out, s.call(protocol.RPCMakeFile, user, now, err), err
+}
+
+// Unlink executes dal.unlink_node.
+func (s *Server) Unlink(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, now time.Time) ([]protocol.NodeInfo, protocol.Generation, []protocol.Hash, time.Duration, error) {
+	removed, gen, freed, err := s.store.Unlink(user, vol, node)
+	return removed, gen, freed, s.call(protocol.RPCUnlinkNode, user, now, err), err
+}
+
+// Move executes dal.move.
+func (s *Server) Move(user protocol.UserID, vol protocol.VolumeID, node, newParent protocol.NodeID, newName string, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+	out, err := s.store.Move(user, vol, node, newParent, newName)
+	return out, s.call(protocol.RPCMove, user, now, err), err
+}
+
+// CreateUDF executes dal.create_udf.
+func (s *Server) CreateUDF(user protocol.UserID, path string, now time.Time) (protocol.VolumeInfo, time.Duration, error) {
+	out, err := s.store.CreateUDF(user, path)
+	return out, s.call(protocol.RPCCreateUDF, user, now, err), err
+}
+
+// DeleteVolume executes dal.delete_volume, a cascade RPC.
+func (s *Server) DeleteVolume(user protocol.UserID, vol protocol.VolumeID, now time.Time) ([]protocol.NodeInfo, []protocol.Hash, time.Duration, error) {
+	removed, freed, err := s.store.DeleteVolume(user, vol)
+	return removed, freed, s.call(protocol.RPCDeleteVolume, user, now, err), err
+}
+
+// GetDelta executes dal.get_delta.
+func (s *Server) GetDelta(user protocol.UserID, vol protocol.VolumeID, from protocol.Generation, now time.Time) ([]protocol.DeltaEntry, protocol.Generation, time.Duration, error) {
+	deltas, gen, err := s.store.GetDelta(user, vol, from)
+	return deltas, gen, s.call(protocol.RPCGetDelta, user, now, err), err
+}
+
+// GetVolume executes dal.get_volume_id.
+func (s *Server) GetVolume(user protocol.UserID, vol protocol.VolumeID, now time.Time) (protocol.VolumeInfo, time.Duration, error) {
+	out, err := s.store.GetVolume(user, vol)
+	return out, s.call(protocol.RPCGetVolumeID, user, now, err), err
+}
+
+// CreateShare executes dal.create_share.
+func (s *Server) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to protocol.UserID, name string, readOnly bool, now time.Time) (protocol.ShareInfo, time.Duration, error) {
+	out, err := s.store.CreateShare(owner, vol, to, name, readOnly)
+	return out, s.call(protocol.RPCCreateShare, owner, now, err), err
+}
+
+// AcceptShare executes dal.accept_share.
+func (s *Server) AcceptShare(user protocol.UserID, id protocol.ShareID, now time.Time) (protocol.ShareInfo, time.Duration, error) {
+	out, err := s.store.AcceptShare(user, id)
+	return out, s.call(protocol.RPCAcceptShare, user, now, err), err
+}
+
+// --- Upload management RPCs (Table 4, Fig. 12b) ---
+
+// GetReusableContent executes dal.get_reusable_content: the dedup probe.
+func (s *Server) GetReusableContent(user protocol.UserID, h protocol.Hash, now time.Time) (size uint64, exists bool, d time.Duration, err error) {
+	size, exists = s.store.LookupContent(h)
+	return size, exists, s.call(protocol.RPCGetReusableContent, user, now, nil), nil
+}
+
+// MakeContent executes dal.make_content.
+func (s *Server) MakeContent(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64, now time.Time) (protocol.NodeInfo, *protocol.Hash, bool, time.Duration, error) {
+	info, freed, wasUpdate, err := s.store.MakeContent(user, vol, node, h, size)
+	return info, freed, wasUpdate, s.call(protocol.RPCMakeContent, user, now, err), err
+}
+
+// MakeUploadJob executes dal.make_uploadjob.
+func (s *Server) MakeUploadJob(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64, now time.Time) (*metadata.UploadJob, time.Duration, error) {
+	job, err := s.store.MakeUploadJob(user, vol, node, h, size, now)
+	return job, s.call(protocol.RPCMakeUploadJob, user, now, err), err
+}
+
+// GetUploadJob executes dal.get_uploadjob.
+func (s *Server) GetUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time) (*metadata.UploadJob, time.Duration, error) {
+	job, err := s.store.GetUploadJob(user, id)
+	return job, s.call(protocol.RPCGetUploadJob, user, now, err), err
+}
+
+// SetUploadJobMultipartID executes dal.set_uploadjob_multipart_id.
+func (s *Server) SetUploadJobMultipartID(user protocol.UserID, id protocol.UploadID, multipartID string, now time.Time) (time.Duration, error) {
+	err := s.store.SetUploadJobMultipartID(user, id, multipartID)
+	return s.call(protocol.RPCSetUploadJobMultipartID, user, now, err), err
+}
+
+// AddPartToUploadJob executes dal.add_part_to_uploadjob.
+func (s *Server) AddPartToUploadJob(user protocol.UserID, id protocol.UploadID, partBytes uint64, now time.Time) (*metadata.UploadJob, time.Duration, error) {
+	job, err := s.store.AddPartToUploadJob(user, id, partBytes, now)
+	return job, s.call(protocol.RPCAddPartToUploadJob, user, now, err), err
+}
+
+// TouchUploadJob executes dal.touch_uploadjob.
+func (s *Server) TouchUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time) (expired bool, d time.Duration, err error) {
+	expired, err = s.store.TouchUploadJob(user, id, now)
+	return expired, s.call(protocol.RPCTouchUploadJob, user, now, err), err
+}
+
+// DeleteUploadJob executes dal.delete_uploadjob.
+func (s *Server) DeleteUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time) (time.Duration, error) {
+	err := s.store.DeleteUploadJob(user, id)
+	return s.call(protocol.RPCDeleteUploadJob, user, now, err), err
+}
+
+// --- Other read-only RPCs (Fig. 12c) ---
+
+// GetFromScratch executes dal.get_from_scratch, the cascade full-volume read.
+func (s *Server) GetFromScratch(user protocol.UserID, vol protocol.VolumeID, now time.Time) ([]protocol.NodeInfo, protocol.Generation, time.Duration, error) {
+	nodes, gen, err := s.store.GetFromScratch(user, vol)
+	return nodes, gen, s.call(protocol.RPCGetFromScratch, user, now, err), err
+}
+
+// GetNode executes dal.get_node.
+func (s *Server) GetNode(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+	out, err := s.store.GetNode(user, vol, node)
+	return out, s.call(protocol.RPCGetNode, user, now, err), err
+}
+
+// GetRoot executes dal.get_root.
+func (s *Server) GetRoot(user protocol.UserID, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+	out, err := s.store.GetRoot(user)
+	return out, s.call(protocol.RPCGetRoot, user, now, err), err
+}
+
+// GetUserData executes dal.get_user_data.
+func (s *Server) GetUserData(user protocol.UserID, now time.Time) (metadata.UserData, time.Duration, error) {
+	out, err := s.store.GetUserData(user)
+	return out, s.call(protocol.RPCGetUserData, user, now, err), err
+}
+
+// ObserveAuth emits the span for auth.get_user_id_from_token, which the
+// paper's Fig. 12c groups with the metadata RPCs even though the lookup runs
+// against the separate authentication service. The API server performs the
+// lookup and reports its outcome here.
+func (s *Server) ObserveAuth(user protocol.UserID, now time.Time, err error) time.Duration {
+	return s.call(protocol.RPCGetUserIDFromToken, user, now, err)
+}

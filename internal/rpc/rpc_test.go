@@ -1,0 +1,250 @@
+package rpc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"u1/internal/metadata"
+	"u1/internal/protocol"
+	"u1/internal/stats"
+)
+
+var t0 = time.Unix(1390000000, 0)
+
+func newTier(t *testing.T) (*Server, protocol.VolumeInfo) {
+	t.Helper()
+	store := metadata.New(metadata.Config{Shards: 10})
+	root, err := store.CreateUser(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(store, Config{Seed: 42}), root
+}
+
+func TestSpansEmitted(t *testing.T) {
+	s, root := newTier(t)
+	var spans []Span
+	s.AddObserver(func(sp Span) { spans = append(spans, sp) })
+
+	if _, _, err := s.MakeFile(1, root.ID, 0, "a.txt", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ListVolumes(1, t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].RPC != protocol.RPCMakeFile || spans[0].Class != protocol.ClassWrite {
+		t.Errorf("span0 = %+v", spans[0])
+	}
+	if spans[1].RPC != protocol.RPCListVolumes || spans[1].Class != protocol.ClassRead {
+		t.Errorf("span1 = %+v", spans[1])
+	}
+	if spans[0].Service <= 0 {
+		t.Error("service time must be positive")
+	}
+	if spans[0].Shard != s.Store().ShardFor(1) {
+		t.Error("span shard should match user routing")
+	}
+}
+
+func TestSpanCarriesError(t *testing.T) {
+	s, root := newTier(t)
+	var last Span
+	s.AddObserver(func(sp Span) { last = sp })
+	_, _, err := s.GetNode(1, root.ID, 9999, t0)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if last.Err == nil {
+		t.Error("span should carry the error")
+	}
+}
+
+func TestLatencyClassSeparation(t *testing.T) {
+	// Cascade RPCs must be ≈10x slower than reads at the median (Fig. 13).
+	m := NewPaperLatency()
+	r := rand.New(rand.NewSource(1))
+	sample := func(c protocol.RPCClass) float64 {
+		xs := make([]float64, 4000)
+		for i := range xs {
+			xs[i] = m.Sample(r, c).Seconds()
+		}
+		return stats.Median(xs)
+	}
+	read, write, cascade := sample(protocol.ClassRead), sample(protocol.ClassWrite), sample(protocol.ClassCascade)
+	if !(read < write && write < cascade) {
+		t.Errorf("medians not ordered: read=%v write=%v cascade=%v", read, write, cascade)
+	}
+	if cascade/read < 10 {
+		t.Errorf("cascade/read = %v, want ≥ 10", cascade/read)
+	}
+}
+
+func TestLatencyLongTails(t *testing.T) {
+	// Fig. 12: from 7% to 22% of RPC service times are very far from the
+	// median (operationalized here as > 4x median).
+	m := NewPaperLatency()
+	r := rand.New(rand.NewSource(2))
+	for _, class := range []protocol.RPCClass{protocol.ClassRead, protocol.ClassWrite, protocol.ClassCascade} {
+		xs := make([]float64, 10000)
+		for i := range xs {
+			xs[i] = m.Sample(r, class).Seconds()
+		}
+		med := stats.Median(xs)
+		var far int
+		for _, x := range xs {
+			if x > 4*med {
+				far++
+			}
+		}
+		frac := float64(far) / float64(len(xs))
+		if frac < 0.04 || frac > 0.30 {
+			t.Errorf("class %v: tail fraction %v outside the paper's band", class, frac)
+		}
+	}
+}
+
+func TestUploadJobRPCFlow(t *testing.T) {
+	s, root := newTier(t)
+	var rpcs []protocol.RPC
+	s.AddObserver(func(sp Span) { rpcs = append(rpcs, sp.RPC) })
+
+	f, _, err := s.MakeFile(1, root.ID, 0, "big.bin", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := protocol.HashBytes([]byte("big"))
+	if _, exists, _, _ := s.GetReusableContent(1, h, t0); exists {
+		t.Fatal("content should not exist")
+	}
+	job, _, err := s.MakeUploadJob(1, root.ID, f.ID, h, 10<<20, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetUploadJobMultipartID(1, job.ID, "mp-1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AddPartToUploadJob(1, job.ID, 5<<20, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AddPartToUploadJob(1, job.ID, 5<<20, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetUploadJob(1, job.ID, t0); err != nil {
+		t.Fatal(err)
+	}
+	if expired, _, err := s.TouchUploadJob(1, job.ID, t0.Add(time.Minute)); err != nil || expired {
+		t.Fatalf("touch: %v %v", expired, err)
+	}
+	if _, _, _, _, err := s.MakeContent(1, root.ID, f.ID, h, 10<<20, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteUploadJob(1, job.ID, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The emitted RPC sequence matches the appendix-A lifecycle.
+	want := []protocol.RPC{
+		protocol.RPCMakeFile,
+		protocol.RPCGetReusableContent,
+		protocol.RPCMakeUploadJob,
+		protocol.RPCSetUploadJobMultipartID,
+		protocol.RPCAddPartToUploadJob,
+		protocol.RPCAddPartToUploadJob,
+		protocol.RPCGetUploadJob,
+		protocol.RPCTouchUploadJob,
+		protocol.RPCMakeContent,
+		protocol.RPCDeleteUploadJob,
+	}
+	if len(rpcs) != len(want) {
+		t.Fatalf("got %d rpcs %v", len(rpcs), rpcs)
+	}
+	for i := range want {
+		if rpcs[i] != want[i] {
+			t.Errorf("rpc[%d] = %v, want %v", i, rpcs[i], want[i])
+		}
+	}
+}
+
+func TestProcLoadDistribution(t *testing.T) {
+	store := metadata.New(metadata.Config{Shards: 4})
+	store.CreateUser(1)
+	rootVols, _ := store.ListVolumes(1)
+	s := NewServer(store, Config{Procs: 4, Seed: 3})
+	for i := 0; i < 100; i++ {
+		s.GetVolume(1, rootVols[0].ID, t0)
+	}
+	loads := s.ProcLoads()
+	var total uint64
+	for _, l := range loads {
+		total += l
+	}
+	if total != 100 {
+		t.Errorf("total proc ops = %d", total)
+	}
+	for i, l := range loads {
+		if l != 25 {
+			t.Errorf("proc %d load = %d, want 25 (round-robin)", i, l)
+		}
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	store := metadata.New(metadata.Config{Shards: 4})
+	for u := protocol.UserID(1); u <= 8; u++ {
+		store.CreateUser(u)
+	}
+	s := NewServer(store, Config{Seed: 9})
+	var mu sync.Mutex
+	var n int
+	s.AddObserver(func(Span) { mu.Lock(); n++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for u := protocol.UserID(1); u <= 8; u++ {
+		wg.Add(1)
+		go func(u protocol.UserID) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.ListVolumes(u, t0)
+			}
+		}(u)
+	}
+	wg.Wait()
+	if n != 400 {
+		t.Errorf("observed %d spans, want 400", n)
+	}
+}
+
+func TestObserveAuth(t *testing.T) {
+	s, _ := newTier(t)
+	var last Span
+	s.AddObserver(func(sp Span) { last = sp })
+	d := s.ObserveAuth(1, t0, nil)
+	if d <= 0 || last.RPC != protocol.RPCGetUserIDFromToken {
+		t.Errorf("auth span = %+v, dur %v", last, d)
+	}
+	if last.Class != protocol.ClassRead {
+		t.Errorf("auth class = %v", last.Class)
+	}
+}
+
+func TestRealSleep(t *testing.T) {
+	store := metadata.New(metadata.Config{Shards: 2})
+	store.CreateUser(1)
+	fixed := fixedLatency(2 * time.Millisecond)
+	s := NewServer(store, Config{RealSleep: true, Latency: fixed, Seed: 1})
+	start := time.Now()
+	s.ListVolumes(1, t0)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("call returned in %v, want ≥ 2ms", elapsed)
+	}
+}
+
+type fixedLatency time.Duration
+
+func (f fixedLatency) Sample(*rand.Rand, protocol.RPCClass) time.Duration {
+	return time.Duration(f)
+}

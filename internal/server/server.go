@@ -1,0 +1,221 @@
+// Package server composes the full U1 back-end of Fig. 1 into one runnable
+// cluster: the sharded metadata store, the RPC/DAL tier, the S3-like data
+// store, the authentication service, the notification broker, and a fleet of
+// API server machines behind a least-loaded gateway. The deployment defaults
+// mirror the paper: 6 API machines with 8–16 processes each, a 10-shard
+// metadata cluster, one broker, one auth service.
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"u1/internal/apiserver"
+	"u1/internal/auth"
+	"u1/internal/blob"
+	"u1/internal/gateway"
+	"u1/internal/metadata"
+	"u1/internal/notify"
+	"u1/internal/rpc"
+)
+
+// DefaultMachines are the API server machine names. The paper's trace shows
+// lognames like production-whitecurrant-23-20140128; the rest of the fleet is
+// named in the same spirit.
+var DefaultMachines = []string{
+	"whitecurrant", "blackcurrant", "gooseberry",
+	"cranberry", "elderberry", "boysenberry",
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Machines names the API servers (default: DefaultMachines).
+	Machines []string
+	// ProcsPerMachine is the API process count per machine (default 12,
+	// inside the paper's 8–16 band).
+	ProcsPerMachine int
+	// Shards is the metadata shard count (default 10).
+	Shards int
+	// DeltaLogLimit bounds per-volume delta logs (0 → metadata default).
+	DeltaLogLimit int
+	// RPCProcs is the DAL worker count (default 48).
+	RPCProcs int
+	// AuthFailureRate injects SSO failures (paper: 0.0276).
+	AuthFailureRate float64
+	// InlineData makes transfers carry real bytes (TCP mode); off for
+	// simulation.
+	InlineData bool
+	// RealSleep makes RPCs take their sampled service time in wall time.
+	RealSleep bool
+	// Seed drives all stochastic models.
+	Seed int64
+}
+
+// Cluster is a fully wired U1 back-end.
+type Cluster struct {
+	Store   *metadata.Store
+	Blob    *blob.Store
+	Auth    *auth.Service
+	Broker  *notify.Broker
+	RPC     *rpc.Server
+	Servers []*apiserver.Server
+
+	byName map[string]*apiserver.Server
+}
+
+// NewCluster wires a cluster from cfg.
+func NewCluster(cfg Config) *Cluster {
+	if len(cfg.Machines) == 0 {
+		cfg.Machines = DefaultMachines
+	}
+	if cfg.ProcsPerMachine <= 0 {
+		cfg.ProcsPerMachine = 12
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 10
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	store := metadata.New(metadata.Config{Shards: cfg.Shards, DeltaLogLimit: cfg.DeltaLogLimit})
+	blobStore := blob.New(blob.Config{KeepData: cfg.InlineData})
+	authSvc := auth.New(auth.Config{FailureRate: cfg.AuthFailureRate, Seed: seed})
+	broker := notify.NewBroker()
+	rpcTier := rpc.NewServer(store, rpc.Config{
+		Procs:     cfg.RPCProcs,
+		Seed:      seed,
+		RealSleep: cfg.RealSleep,
+	})
+
+	c := &Cluster{
+		Store:  store,
+		Blob:   blobStore,
+		Auth:   authSvc,
+		Broker: broker,
+		RPC:    rpcTier,
+		byName: make(map[string]*apiserver.Server),
+	}
+	deps := apiserver.Deps{
+		RPC:      rpcTier,
+		Auth:     authSvc,
+		Blob:     blobStore,
+		Broker:   broker,
+		Transfer: blob.DefaultTransferModel(),
+	}
+	for _, name := range cfg.Machines {
+		srv := apiserver.New(apiserver.Config{
+			Name:       name,
+			Procs:      cfg.ProcsPerMachine,
+			InlineData: cfg.InlineData,
+		}, deps)
+		c.Servers = append(c.Servers, srv)
+		c.byName[name] = srv
+	}
+	return c
+}
+
+// Server returns an API server by machine name.
+func (c *Cluster) Server(name string) (*apiserver.Server, bool) {
+	s, ok := c.byName[name]
+	return s, ok
+}
+
+// LeastLoaded returns the API server with the fewest live sessions — the
+// gateway's placement rule (§4). Ties break by fleet order for determinism.
+func (c *Cluster) LeastLoaded() *apiserver.Server {
+	best := c.Servers[0]
+	bestN := best.SessionCount()
+	for _, s := range c.Servers[1:] {
+		if n := s.SessionCount(); n < bestN {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// AddAPIObserver registers an API event observer on every server.
+func (c *Cluster) AddAPIObserver(o apiserver.Observer) {
+	for _, s := range c.Servers {
+		s.AddObserver(o)
+	}
+}
+
+// AddRPCObserver registers an RPC span observer.
+func (c *Cluster) AddRPCObserver(o rpc.Observer) {
+	c.RPC.AddObserver(o)
+}
+
+// PumpNotifications drains every server's broker queue once, delivering
+// queued cross-server pushes. The simulator calls this between events; the
+// TCP deployment uses RunNotifier goroutines instead.
+func (c *Cluster) PumpNotifications() int {
+	var n int
+	for _, s := range c.Servers {
+		n += s.DeliverQueued()
+	}
+	return n
+}
+
+// SweepUploadJobs runs the weekly uploadjob/multipart garbage collection.
+func (c *Cluster) SweepUploadJobs(now time.Time) (jobs, blobs int) {
+	jobs = c.Store.SweepUploadJobs(now)
+	for _, id := range c.Blob.AbandonedUploads(now.Add(-metadata.UploadJobMaxAge)) {
+		if err := c.Blob.AbortMultipartUpload(id); err == nil {
+			blobs++
+		}
+	}
+	return jobs, blobs
+}
+
+// TCPCluster is a cluster listening on real sockets behind a gateway proxy.
+type TCPCluster struct {
+	*Cluster
+	Proxy     *gateway.Proxy
+	GateAddr  net.Addr
+	listeners []net.Listener
+	done      chan struct{}
+}
+
+// ListenAndServe starts every API server on a loopback listener plus the
+// gateway proxy in front of them, returning once all sockets are bound.
+// Addr "127.0.0.1:0" picks free ports (tests); a fixed addr serves for real.
+func (c *Cluster) ListenAndServe(gatewayAddr string) (*TCPCluster, error) {
+	tc := &TCPCluster{Cluster: c, done: make(chan struct{})}
+	backends := make(map[string]string, len(c.Servers))
+	for _, s := range c.Servers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tc.Close()
+			return nil, fmt.Errorf("server: listening for %s: %w", s.Name(), err)
+		}
+		tc.listeners = append(tc.listeners, ln)
+		backends[s.Name()] = ln.Addr().String()
+		go s.Serve(ln) //nolint:errcheck
+		go s.RunNotifier(tc.done)
+	}
+	gln, err := net.Listen("tcp", gatewayAddr)
+	if err != nil {
+		tc.Close()
+		return nil, fmt.Errorf("server: listening for gateway: %w", err)
+	}
+	tc.listeners = append(tc.listeners, gln)
+	tc.GateAddr = gln.Addr()
+	tc.Proxy = gateway.NewProxy(backends)
+	go tc.Proxy.Serve(gln) //nolint:errcheck
+	return tc, nil
+}
+
+// Close shuts all listeners down.
+func (tc *TCPCluster) Close() {
+	select {
+	case <-tc.done:
+	default:
+		close(tc.done)
+	}
+	for _, ln := range tc.listeners {
+		ln.Close()
+	}
+}

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"u1/internal/apiserver"
+	"u1/internal/client"
+	"u1/internal/protocol"
+)
+
+// newTCPCluster boots a 3-machine cluster on loopback sockets.
+func newTCPCluster(t *testing.T) (*TCPCluster, *Cluster) {
+	t.Helper()
+	c := NewCluster(Config{
+		Machines:        []string{"alpha", "beta", "gamma"},
+		ProcsPerMachine: 4,
+		Shards:          4,
+		InlineData:      true,
+		Seed:            7,
+	})
+	tc, err := c.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	return tc, c
+}
+
+func dialClient(t *testing.T, tc *TCPCluster, user protocol.UserID) *client.Client {
+	t.Helper()
+	token, err := tc.Auth.Issue(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := client.DialTCP(tc.GateAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(tr)
+	if err := cl.Connect(token); err != nil {
+		t.Fatalf("connect user %v: %v", user, err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestTCPEndToEndUploadDownload(t *testing.T) {
+	tc, _ := newTCPCluster(t)
+	cl := dialClient(t, tc, 1)
+
+	root, ok := cl.RootVolume()
+	if !ok {
+		t.Fatal("no root volume")
+	}
+	dir, err := cl.Mkdir(root, 0, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("u1 measurement study "), 1000)
+	node, reused, err := cl.Upload(root, dir.ID, "paper.txt", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Error("first upload cannot be a dedup hit")
+	}
+	got, err := cl.Download(root, node.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Errorf("downloaded %d bytes, want %d", len(got), len(content))
+	}
+	st := cl.Stats()
+	if st.Uploads != 1 || st.Downloads != 1 || st.BytesUp != uint64(len(content)) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPMultipartLargeFile(t *testing.T) {
+	tc, c := newTCPCluster(t)
+	cl := dialClient(t, tc, 2)
+	root, _ := cl.RootVolume()
+
+	// 12 MB crosses the 5 MB part size: full uploadjob + multipart path.
+	big := bytes.Repeat([]byte{0xA5, 0x5A, 1, 2}, 3<<20)
+	node, reused, err := cl.Upload(root, 0, "big.iso", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Error("unexpected dedup hit")
+	}
+	got, err := cl.Download(root, node.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Errorf("multipart round trip corrupted: %d vs %d bytes", len(got), len(big))
+	}
+	bs := c.Blob.Stats()
+	if bs.MultipartCompleted != 1 || bs.PartsUploaded != 3 {
+		t.Errorf("blob stats = %+v", bs)
+	}
+}
+
+func TestTCPCrossUserDedup(t *testing.T) {
+	tc, c := newTCPCluster(t)
+	a := dialClient(t, tc, 10)
+	b := dialClient(t, tc, 11)
+
+	content := bytes.Repeat([]byte("very popular song"), 4096)
+	rootA, _ := a.RootVolume()
+	if _, reused, err := a.Upload(rootA, 0, "song.mp3", content); err != nil || reused {
+		t.Fatalf("first upload: reused=%v err=%v", reused, err)
+	}
+	rootB, _ := b.RootVolume()
+	_, reused, err := b.Upload(rootB, 0, "copy.mp3", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Error("second user's identical upload must be deduplicated")
+	}
+	if got := b.Stats().DedupHits; got != 1 {
+		t.Errorf("dedup hits = %d", got)
+	}
+	cs := c.Store.Contents()
+	if cs.UniqueContents != 1 || cs.DedupRatio() != 0.5 {
+		t.Errorf("content stats = %+v ratio=%v", cs, cs.DedupRatio())
+	}
+}
+
+func TestTCPTwoDevicesPushSync(t *testing.T) {
+	tc, _ := newTCPCluster(t)
+	// Two desktop clients of the same user — e.g. home and office machines.
+	dev1 := dialClient(t, tc, 20)
+	dev2 := dialClient(t, tc, 20)
+	dev2.AutoFetch = true
+
+	root, _ := dev1.RootVolume()
+	content := []byte("note to self, synced across devices")
+	node, _, err := dev1.Upload(root, 0, "note.txt", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// dev2 must receive the push and converge after handling it.
+	select {
+	case p := <-dev2.Pushes():
+		if p.Event != protocol.PushVolumeChanged || p.Volume != root {
+			t.Fatalf("push = %+v", p)
+		}
+		if _, err := dev2.HandlePush(p); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no push within 5s")
+	}
+	m, ok := dev2.Mirror(root)
+	if !ok {
+		t.Fatal("no mirror")
+	}
+	if n, ok := m.Nodes[node.ID]; !ok || n.Size != uint64(len(content)) {
+		t.Errorf("dev2 mirror missing the uploaded file: %+v", m.Nodes)
+	}
+	if dev2.Stats().BytesDown != uint64(len(content)) {
+		t.Errorf("dev2 should have auto-fetched the content: %+v", dev2.Stats())
+	}
+}
+
+func TestTCPSharingFlow(t *testing.T) {
+	tc, _ := newTCPCluster(t)
+	owner := dialClient(t, tc, 30)
+	guest := dialClient(t, tc, 31)
+
+	udf, err := owner.CreateUDF("~/Project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := owner.Upload(udf.ID, 0, "spec.doc", []byte("spec v1")); err != nil {
+		t.Fatal(err)
+	}
+	share, err := owner.CreateShare(udf.ID, 31, "project", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The guest gets the share offer pushed, accepts, syncs, reads.
+	select {
+	case p := <-guest.Pushes():
+		if p.Event != protocol.PushShareOffered {
+			t.Fatalf("push = %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no share push within 5s")
+	}
+	if _, err := guest.AcceptShare(share.ID); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := guest.Sync(udf.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0].Name != "spec.doc" {
+		t.Errorf("changed = %+v", changed)
+	}
+	data, err := guest.Download(udf.ID, changed[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "spec v1" {
+		t.Errorf("guest read %q", data)
+	}
+}
+
+func TestTCPAuthRejected(t *testing.T) {
+	tc, _ := newTCPCluster(t)
+	tr, err := client.DialTCP(tc.GateAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cl := client.New(tr)
+	if err := cl.Connect("not-a-token"); err == nil {
+		t.Fatal("bogus token must be rejected")
+	}
+}
+
+func TestTCPSessionsSpreadAcrossServers(t *testing.T) {
+	tc, c := newTCPCluster(t)
+	for u := protocol.UserID(100); u < 106; u++ {
+		dialClient(t, tc, u)
+	}
+	var with int
+	for _, s := range c.Servers {
+		if s.SessionCount() > 0 {
+			with++
+		}
+	}
+	if with < 2 {
+		t.Errorf("sessions landed on %d servers; gateway should spread them", with)
+	}
+}
+
+// --- In-process (simulation-mode) cluster tests ---
+
+func newDirectCluster(t *testing.T) *Cluster {
+	t.Helper()
+	return NewCluster(Config{
+		Machines:        []string{"m1", "m2"},
+		ProcsPerMachine: 2,
+		Shards:          4,
+		Seed:            13,
+	})
+}
+
+func directClient(t *testing.T, c *Cluster, user protocol.UserID, clock func() time.Time) *client.Client {
+	t.Helper()
+	token, err := c.Auth.Issue(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := client.NewDirectTransport(c.LeastLoaded, clock)
+	cl := client.New(tr)
+	if err := cl.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestDirectMeteredUpload(t *testing.T) {
+	c := newDirectCluster(t)
+	now := time.Unix(1390000000, 0)
+	clock := func() time.Time { return now }
+	cl := directClient(t, c, 1, clock)
+	root, _ := cl.RootVolume()
+
+	// Metered upload: 12 MB by size only, no bytes materialized anywhere.
+	h := protocol.HashBytes([]byte("metered-content-1"))
+	node, reused, err := cl.UploadSized(root, 0, "video.avi", h, 12<<20, 11<<20)
+	if err != nil || reused {
+		t.Fatalf("upload: reused=%v err=%v", reused, err)
+	}
+	if node.Size != 12<<20 {
+		t.Errorf("node size = %d", node.Size)
+	}
+	bs := c.Blob.Stats()
+	if bs.BytesHeld != 12<<20 || bs.MultipartCompleted != 1 {
+		t.Errorf("blob stats = %+v", bs)
+	}
+	// Metered download accounts bytes without materializing.
+	if _, err := cl.Download(root, node.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Stats().BytesDown; got != 12<<20 {
+		t.Errorf("bytes down = %d", got)
+	}
+}
+
+func TestDirectNotificationsViaPump(t *testing.T) {
+	c := newDirectCluster(t)
+	now := time.Unix(1390000000, 0)
+	clock := func() time.Time { return now }
+
+	// Force the two devices onto different servers so the broker path runs.
+	token, _ := c.Auth.Issue(5)
+	tr1 := client.NewDirectTransport(client.FixedServer(c.Servers[0]), clock)
+	dev1 := client.New(tr1)
+	if err := dev1.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := client.NewDirectTransport(client.FixedServer(c.Servers[1]), clock)
+	dev2 := client.New(tr2)
+	if err := dev2.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+
+	root, _ := dev1.RootVolume()
+	h := protocol.HashBytes([]byte("x"))
+	if _, _, err := dev1.UploadSized(root, 0, "f.txt", h, 100, 80); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cross-server push sits in m2's broker queue until pumped.
+	if n := c.PumpNotifications(); n == 0 {
+		t.Fatal("expected queued notifications")
+	}
+	select {
+	case p := <-dev2.Pushes():
+		if p.Event != protocol.PushVolumeChanged {
+			t.Errorf("push = %+v", p)
+		}
+		if _, err := dev2.HandlePush(p); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatal("dev2 received no push after pump")
+	}
+	m, _ := dev2.Mirror(root)
+	if len(m.Nodes) != 1 {
+		t.Errorf("dev2 mirror = %+v", m.Nodes)
+	}
+}
+
+func TestDirectEventObserver(t *testing.T) {
+	c := newDirectCluster(t)
+	var events []apiserver.Event
+	c.AddAPIObserver(func(e apiserver.Event) { events = append(events, e) })
+	now := time.Unix(1390000000, 0)
+	cl := directClient(t, c, 9, func() time.Time { return now })
+	root, _ := cl.RootVolume()
+	h := protocol.HashBytes([]byte("traced"))
+	if _, _, err := cl.UploadSized(root, 0, "code.java", h, 2048, 700); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expect: Authenticate, ListVolumes, ListShares, MakeFile, Upload.
+	var ops []protocol.Op
+	for _, e := range events {
+		ops = append(ops, e.Op)
+	}
+	want := []protocol.Op{
+		protocol.OpAuthenticate, protocol.OpListVolumes, protocol.OpListShares,
+		protocol.OpMakeFile, protocol.OpPutContent,
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+	up := events[len(events)-1]
+	if up.Size != 2048 || up.Wire != 700 || up.Ext != "java" || up.IsUpdate {
+		t.Errorf("upload event = %+v", up)
+	}
+	if up.Duration <= 0 {
+		t.Error("upload event must carry simulated service time")
+	}
+}
+
+func TestDirectFileUpdateFlag(t *testing.T) {
+	c := newDirectCluster(t)
+	var updates int
+	c.AddAPIObserver(func(e apiserver.Event) {
+		if e.Op == protocol.OpPutContent && e.IsUpdate {
+			updates++
+		}
+	})
+	now := time.Unix(1390000000, 0)
+	cl := directClient(t, c, 3, func() time.Time { return now })
+	root, _ := cl.RootVolume()
+
+	h1 := protocol.HashBytes([]byte("v1"))
+	h2 := protocol.HashBytes([]byte("v2"))
+	if _, _, err := cl.UploadSized(root, 0, "notes.doc", h1, 100, 90); err != nil {
+		t.Fatal(err)
+	}
+	// Re-uploading the same name with a different hash is an update (§5.1).
+	if _, _, err := cl.UploadSized(root, 0, "notes.doc", h2, 120, 100); err != nil {
+		t.Fatal(err)
+	}
+	if updates != 1 {
+		t.Errorf("update events = %d, want 1", updates)
+	}
+}
+
+func TestDirectRescanAfterLogTruncation(t *testing.T) {
+	// A tiny delta log forces the second device through the
+	// RescanFromScratch path of Fig. 8.
+	c := NewCluster(Config{
+		Machines: []string{"m"}, Shards: 2, Seed: 3, DeltaLogLimit: 8,
+	})
+	now := time.Unix(1390000000, 0)
+	clock := func() time.Time { return now }
+	dev1 := directClient(t, c, 50, clock)
+	dev2 := directClient(t, c, 50, clock) // mirrors generation 0
+
+	root, _ := dev1.RootVolume()
+	for i := 0; i < 40; i++ {
+		h := protocol.HashBytes([]byte{byte(i), 1})
+		if _, _, err := dev1.UploadSized(root, 0, fmt.Sprintf("f%02d.txt", i), h, 64, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changed, err := dev2.Sync(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev2.Stats().Rescans != 1 {
+		t.Errorf("rescans = %d, want 1 (delta log too short)", dev2.Stats().Rescans)
+	}
+	if len(changed) != 40 {
+		t.Errorf("changed files = %d, want 40", len(changed))
+	}
+	m, _ := dev2.Mirror(root)
+	if len(m.Nodes) != 41 { // 40 files + volume root dir
+		t.Errorf("mirror nodes = %d", len(m.Nodes))
+	}
+}
+
+func TestSweepUploadJobs(t *testing.T) {
+	c := newDirectCluster(t)
+	now := time.Unix(1390000000, 0)
+	cl := directClient(t, c, 40, func() time.Time { return now })
+	root, _ := cl.RootVolume()
+
+	// Start a large upload but never stream the parts: laptop lid closed.
+	h := protocol.HashBytes([]byte("abandoned"))
+	up, reused, err := cl.BeginUpload(root, 0, "partial.bin", h, 20<<20)
+	if err != nil || reused || up == 0 {
+		t.Fatalf("begin: up=%v reused=%v err=%v", up, reused, err)
+	}
+	jobs, blobs := c.SweepUploadJobs(now.Add(10 * 24 * time.Hour))
+	if jobs != 1 {
+		t.Errorf("swept %d jobs, want 1", jobs)
+	}
+	if blobs != 1 {
+		t.Errorf("aborted %d multipart uploads, want 1", blobs)
+	}
+}

@@ -1,0 +1,119 @@
+// Package sim provides the deterministic discrete-event engine that replays
+// a month of U1 client activity against the real back-end code in seconds of
+// wall time. Events execute in (time, insertion) order on a virtual clock;
+// the engine's Clock method plugs directly into client.DirectTransport so
+// every API call and RPC span is stamped with simulation time.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler. It is deliberately
+// not safe for concurrent use: determinism is the point.
+type Engine struct {
+	now    time.Time
+	events eventHeap
+	seq    uint64
+	ran    uint64
+}
+
+// New creates an engine starting at the given virtual time.
+func New(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Clock returns a closure suitable for client.DirectTransport.
+func (e *Engine) Clock() func() time.Time {
+	return func() time.Time { return e.now }
+}
+
+// At schedules fn at time t. Events scheduled in the past run at the current
+// time (the engine never moves backwards).
+func (e *Engine) At(t time.Time, fn func()) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to it. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events up to and including horizon, leaving later events
+// queued. It returns the number of events run.
+func (e *Engine) RunUntil(horizon time.Time) uint64 {
+	start := e.ran
+	for e.events.Len() > 0 && !e.events[0].at.After(horizon) {
+		e.Step()
+	}
+	if e.now.Before(horizon) {
+		e.now = horizon
+	}
+	return e.ran - start
+}
+
+// Run drains the queue completely and returns the number of events run.
+func (e *Engine) Run() uint64 {
+	start := e.ran
+	for e.Step() {
+	}
+	return e.ran - start
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Executed returns the number of events run so far.
+func (e *Engine) Executed() uint64 { return e.ran }
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2014, 1, 11, 0, 0, 0, 0, time.UTC)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(t0)
+	var order []int
+	e.At(t0.Add(3*time.Hour), func() { order = append(order, 3) })
+	e.At(t0.Add(1*time.Hour), func() { order = append(order, 1) })
+	e.At(t0.Add(2*time.Hour), func() { order = append(order, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if !e.Now().Equal(t0.Add(3 * time.Hour)) {
+		t.Errorf("clock = %v", e.Now())
+	}
+}
+
+func TestFIFOWithinSameInstant(t *testing.T) {
+	e := New(t0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(t0.Add(time.Minute), func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New(t0)
+	var hits int
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 5 {
+			e.After(time.Minute, recur)
+		}
+	}
+	e.After(0, recur)
+	e.Run()
+	if hits != 5 {
+		t.Errorf("hits = %d", hits)
+	}
+	if want := t0.Add(4 * time.Minute); !e.Now().Equal(want) {
+		t.Errorf("clock = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New(t0)
+	var ran []int
+	for h := 1; h <= 5; h++ {
+		h := h
+		e.At(t0.Add(time.Duration(h)*time.Hour), func() { ran = append(ran, h) })
+	}
+	n := e.RunUntil(t0.Add(3 * time.Hour))
+	if n != 3 || len(ran) != 3 {
+		t.Fatalf("ran %d events: %v", n, ran)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	// Clock parks exactly at the horizon when it lies beyond the last event.
+	if !e.Now().Equal(t0.Add(3 * time.Hour)) {
+		t.Errorf("clock = %v", e.Now())
+	}
+	// The rest still runs.
+	e.Run()
+	if len(ran) != 5 {
+		t.Errorf("total ran = %v", ran)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := New(t0)
+	e.At(t0.Add(time.Hour), func() {
+		// Scheduling "yesterday" from inside an event must not rewind time.
+		e.At(t0.Add(-time.Hour), func() {})
+	})
+	e.Run()
+	if e.Now().Before(t0.Add(time.Hour)) {
+		t.Errorf("clock went backwards: %v", e.Now())
+	}
+	if e.Executed() != 2 {
+		t.Errorf("executed = %d", e.Executed())
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := New(t0)
+	var ok bool
+	e.After(-time.Minute, func() { ok = true })
+	e.Run()
+	if !ok || !e.Now().Equal(t0) {
+		t.Errorf("ok=%v now=%v", ok, e.Now())
+	}
+}
+
+func TestClockClosure(t *testing.T) {
+	e := New(t0)
+	clock := e.Clock()
+	var seen time.Time
+	e.At(t0.Add(time.Hour), func() { seen = clock() })
+	e.Run()
+	if !seen.Equal(t0.Add(time.Hour)) {
+		t.Errorf("clock inside event = %v", seen)
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// ACF computes the sample autocorrelation function of xs for lags 1..maxLag.
+// The returned slice has maxLag entries; entry k-1 holds the autocorrelation
+// at lag k. The estimator is the standard biased one,
+//
+//	r(k) = Σ_{t=1}^{N-k} (x_t − x̄)(x_{t+k} − x̄) / Σ_{t=1}^{N} (x_t − x̄)²,
+//
+// which is what the paper applies to the hourly R/W-ratio series (Fig. 2c).
+// maxLag is clamped to len(xs)-1; a series with zero variance yields all
+// zeros.
+func ACF(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 1 {
+		return nil
+	}
+	m := Mean(xs)
+	var denom float64
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	out := make([]float64, maxLag)
+	if denom == 0 {
+		return out
+	}
+	for k := 1; k <= maxLag; k++ {
+		var num float64
+		for t := 0; t+k < n; t++ {
+			num += (xs[t] - m) * (xs[t+k] - m)
+		}
+		out[k-1] = num / denom
+	}
+	return out
+}
+
+// ACFConfidence returns the symmetric 95% confidence bound ±2/√N under the
+// null hypothesis of an uncorrelated series. Lags whose |ACF| exceeds this
+// bound indicate long-term correlation, the paper's evidence that R/W ratios
+// "are not independent".
+func ACFConfidence(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 2 / math.Sqrt(float64(n))
+}
+
+// ACFExceedances counts how many of the given lags fall outside the ±bound
+// confidence band. The paper's criterion for "correlated" is most lags
+// landing outside the band.
+func ACFExceedances(acf []float64, bound float64) int {
+	var n int
+	for _, r := range acf {
+		if math.Abs(r) > bound {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"u1/internal/apiserver"
+	"u1/internal/protocol"
+	"u1/internal/rpc"
+)
+
+var t0 = time.Date(2014, 1, 11, 0, 0, 0, 0, time.UTC)
+
+func sampleEvent(op protocol.Op, at time.Time) apiserver.Event {
+	return apiserver.Event{
+		Server:   "whitecurrant",
+		Proc:     23,
+		Session:  1001,
+		User:     42,
+		Op:       op,
+		Volume:   7,
+		Node:     99,
+		Hash:     protocol.HashBytes([]byte("x")),
+		Size:     1 << 20,
+		Wire:     900 << 10,
+		Ext:      "mp3",
+		Start:    at,
+		Duration: 15 * time.Millisecond,
+		Status:   protocol.StatusOK,
+		IsUpdate: true,
+	}
+}
+
+func TestCollectorAPIEvents(t *testing.T) {
+	c := NewCollector(Config{Start: t0, Days: 30})
+	obs := c.APIObserver()
+	obs(sampleEvent(protocol.OpAuthenticate, t0))
+	obs(sampleEvent(protocol.OpPutContent, t0.Add(time.Minute)))
+	obs(sampleEvent(protocol.OpCloseSession, t0.Add(time.Hour)))
+
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Kind != KindSession || recs[1].Kind != KindStorage || recs[2].Kind != KindSession {
+		t.Errorf("kinds = %v %v %v", recs[0].Kind, recs[1].Kind, recs[2].Kind)
+	}
+	r := recs[1]
+	if protocol.Op(r.Op) != protocol.OpPutContent || r.Size != 1<<20 || r.Wire != 900<<10 {
+		t.Errorf("record = %+v", r)
+	}
+	if !r.IsUpdate() {
+		t.Error("update flag lost")
+	}
+	if c.ExtName(r.Ext) != "mp3" || c.ServerName(r.Server) != "whitecurrant" {
+		t.Error("interning broken")
+	}
+	if !r.When().Equal(t0.Add(time.Minute)) || r.Duration() != 15*time.Millisecond {
+		t.Error("time accessors broken")
+	}
+	if r.HashLo == 0 {
+		t.Error("hash prefix lost")
+	}
+}
+
+func TestCollectorRPCAggregation(t *testing.T) {
+	c := NewCollector(Config{Start: t0, Days: 1, Shards: 4})
+	obs := c.RPCObserver()
+	for i := 0; i < 100; i++ {
+		obs(rpc.Span{
+			RPC:     protocol.RPCMakeFile,
+			Class:   protocol.ClassWrite,
+			Shard:   i % 4,
+			Proc:    i % 3,
+			User:    protocol.UserID(i),
+			Start:   t0.Add(time.Duration(i) * time.Minute),
+			Service: 10 * time.Millisecond,
+		})
+	}
+	obs(rpc.Span{RPC: protocol.RPCGetNode, Start: t0, Err: protocol.ErrNotFound, Service: time.Millisecond})
+
+	agg := c.RPC()
+	if agg.Counts[protocol.RPCMakeFile] != 100 {
+		t.Errorf("count = %d", agg.Counts[protocol.RPCMakeFile])
+	}
+	if agg.Errs[protocol.RPCGetNode] != 1 {
+		t.Errorf("errs = %d", agg.Errs[protocol.RPCGetNode])
+	}
+	if agg.Samples[protocol.RPCMakeFile].Seen() != 100 {
+		t.Error("reservoir did not see all samples")
+	}
+	// 100 spans spread over 4 shards at one per minute, plus the error span
+	// (shard 0, minute 0).
+	var total uint32
+	for s := 0; s < 4; s++ {
+		for _, n := range agg.ShardMinute[s] {
+			total += n
+		}
+	}
+	if total != 101 {
+		t.Errorf("shard-minute total = %d", total)
+	}
+	if len(agg.ProcTotal) != 3 {
+		t.Errorf("proc totals = %v", agg.ProcTotal)
+	}
+}
+
+func TestLogname(t *testing.T) {
+	day := time.Date(2014, 1, 28, 13, 0, 0, 0, time.UTC)
+	if got := Logname("whitecurrant", 23, day); got != "production-whitecurrant-23-20140128.csv" {
+		t.Errorf("logname = %q", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := NewCollector(Config{Start: t0, Days: 30, KeepRPCRecords: true})
+	api := c.APIObserver()
+	api(sampleEvent(protocol.OpAuthenticate, t0))
+	api(sampleEvent(protocol.OpPutContent, t0.Add(time.Minute)))
+	api(sampleEvent(protocol.OpGetContent, t0.Add(26*time.Hour))) // next day: second logfile
+	rpcObs := c.RPCObserver()
+	rpcObs(rpc.Span{
+		RPC: protocol.RPCMakeContent, Shard: 3, Proc: 7, User: 42,
+		Start: t0.Add(time.Minute), Service: 12 * time.Millisecond,
+	})
+
+	dir := t.TempDir()
+	if err := c.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	// One file per (server, proc, day): whitecurrant day1, whitecurrant
+	// day2, rpc day1.
+	files, _ := filepath.Glob(filepath.Join(dir, "production-*.csv"))
+	if len(files) != 3 {
+		t.Fatalf("logfiles = %v", files)
+	}
+
+	ds, err := ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 3 || len(ds.RPCRecords) != 1 {
+		t.Fatalf("read %d storage + %d rpc records", len(ds.Records), len(ds.RPCRecords))
+	}
+	if ds.BadLines != 0 {
+		t.Errorf("bad lines = %d", ds.BadLines)
+	}
+	// Sorted by time.
+	for i := 1; i < len(ds.Records); i++ {
+		if ds.Records[i].Time < ds.Records[i-1].Time {
+			t.Error("records not time-sorted")
+		}
+	}
+	// Field fidelity on the storage record.
+	var put *Record
+	for i := range ds.Records {
+		if protocol.Op(ds.Records[i].Op) == protocol.OpPutContent {
+			put = &ds.Records[i]
+		}
+	}
+	if put == nil {
+		t.Fatal("upload record lost")
+	}
+	orig := c.Records()[1]
+	if put.Time != orig.Time || put.Size != orig.Size || put.Wire != orig.Wire ||
+		put.HashLo != orig.HashLo || put.Flags != orig.Flags || put.Session != orig.Session {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", put, orig)
+	}
+	if ds.Extensions[put.Ext] != "mp3" {
+		t.Errorf("ext = %q", ds.Extensions[put.Ext])
+	}
+	rp := ds.RPCRecords[0]
+	if protocol.RPC(rp.RPC) != protocol.RPCMakeContent || rp.Shard != 3 {
+		t.Errorf("rpc record = %+v", rp)
+	}
+}
+
+func TestReadCSVTolerance(t *testing.T) {
+	dir := t.TempDir()
+	body := "storage,1389398400000000000,api,1,5,42,Upload,7,99,-1,ff,100,90,txt,1000,0,0\n" +
+		"garbage line that does not parse\n" +
+		"storage,not-a-timestamp,api,1,5,42,Upload,7,99,-1,ff,100,90,txt,1000,0,0\n" +
+		"storage,1389398400000000001,api,1,5,42,NotAnOp,7,99,-1,ff,100,90,txt,1000,0,0\n" +
+		"weird,1,2,3\n"
+	path := filepath.Join(dir, "production-api-1-20140111.csv")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 1 {
+		t.Errorf("records = %d", len(ds.Records))
+	}
+	if ds.BadLines != 4 {
+		t.Errorf("bad lines = %d, want 4", ds.BadLines)
+	}
+}
+
+func TestReadCSVEmptyDir(t *testing.T) {
+	ds, err := ReadCSV(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 0 || ds.BadLines != 0 {
+		t.Errorf("unexpected dataset %+v", ds)
+	}
+}
+
+func TestExtTableOverflow(t *testing.T) {
+	c := NewCollector(Config{Start: t0, Days: 1})
+	obs := c.APIObserver()
+	for i := 0; i < 300; i++ {
+		e := sampleEvent(protocol.OpPutContent, t0)
+		e.Ext = "e" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		obs(e)
+	}
+	// The table holds at most 255 entries; overflow folds to index 0.
+	if got := len(c.Extensions()); got > 255 {
+		t.Errorf("extension table = %d entries", got)
+	}
+}

@@ -1,0 +1,494 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"u1/internal/client"
+	"u1/internal/dist"
+	"u1/internal/protocol"
+	"u1/internal/server"
+	"u1/internal/sim"
+)
+
+// Config parameterizes a trace generation run.
+type Config struct {
+	// Users is the population size (the paper traced 1.29M; the default
+	// simulation scale is 1/500 of that region — 2000).
+	Users int
+	// Days is the trace window length (the paper: 30).
+	Days int
+	// Start is the first trace instant (the paper: 2014-01-11 00:00 UTC).
+	Start time.Time
+	// Seed drives all generator randomness.
+	Seed int64
+	// Profile overrides the calibrated defaults.
+	Profile *Profile
+	// Attacks injects DDoS events; nil means DefaultAttacks. Use an empty
+	// non-nil slice for an attack-free trace.
+	Attacks []Attack
+}
+
+// PaperStart is the first day of the original trace (January 11, 2014).
+var PaperStart = time.Date(2014, 1, 11, 0, 0, 0, 0, time.UTC)
+
+// Totals summarizes a generation run.
+type Totals struct {
+	Users          int
+	Sessions       uint64
+	FailedAuths    uint64
+	Uploads        uint64
+	Downloads      uint64
+	Deletes        uint64
+	AttackSessions uint64
+}
+
+// Generator drives the synthetic population.
+type Generator struct {
+	cfg  Config
+	prof *Profile
+	c    *server.Cluster
+	eng  *sim.Engine
+	end  time.Time
+
+	rng     *rand.Rand
+	zipf    *dist.Zipf
+	bigZipf *dist.Zipf
+
+	users  []*user
+	totals Totals
+}
+
+// user is the per-account simulation state.
+type user struct {
+	id     protocol.UserID
+	class  Class
+	par    classParams
+	weight float64
+	token  string
+	rng    *rand.Rand
+
+	cli     *client.Client
+	online  bool
+	udfs    int
+	maxUDFs int
+	seq     uint64 // unique content counter
+	// sizeBias scales this user's file sizes: the heaviest users are the
+	// ones storing large media/datasets, which concentrates traffic into
+	// the top percentile (Fig. 7c).
+	sizeBias float64
+	// rateBoost raises session frequency for heavy users.
+	rateBoost float64
+	// recentCap bounds the working set; heavy users churn over much larger
+	// sets (a whale's operations spread over thousands of files, not 64).
+	recentCap int
+
+	// recent remembers recently created files for recency-biased deletes,
+	// updates and sync-back downloads.
+	recent []fileRef
+	// files is the ordered list of live files the user knows about; picks
+	// draw from it deterministically (map iteration order never leaks into
+	// the simulation).
+	files []fileRef
+	// udfVols lists the user's UDF volumes in creation order.
+	udfVols []protocol.VolumeID
+	// dirs lists upload target directories per volume.
+	dirs map[protocol.VolumeID][]protocol.NodeID
+}
+
+type fileRef struct {
+	vol     protocol.VolumeID
+	node    protocol.NodeID
+	parent  protocol.NodeID
+	name    string
+	ext     *ExtProfile
+	created time.Time
+}
+
+// New creates a generator bound to a cluster and engine.
+func New(cfg Config, c *server.Cluster, eng *sim.Engine) *Generator {
+	if cfg.Users <= 0 {
+		cfg.Users = 2000
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 30
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = PaperStart
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = DefaultProfile()
+	}
+	if cfg.Attacks == nil {
+		cfg.Attacks = DefaultAttacks()
+	}
+	g := &Generator{
+		cfg:  cfg,
+		prof: cfg.Profile,
+		c:    c,
+		eng:  eng,
+		end:  cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	zipfN := g.prof.ZipfN
+	if zipfN == 0 {
+		// Auto-scale the content universe with the population so the dedup
+		// ratio stays near the paper's 0.171 at any simulation scale.
+		zipfN = uint64(cfg.Users) * 3 / 2
+		if zipfN < 500 {
+			zipfN = 500
+		}
+	}
+	g.zipf = dist.NewZipf(rand.New(rand.NewSource(cfg.Seed+7)), g.prof.ZipfS, zipfN)
+	bigN := uint64(cfg.Users) / 8
+	if bigN < 60 {
+		bigN = 60
+	}
+	g.bigZipf = dist.NewZipf(rand.New(rand.NewSource(cfg.Seed+13)), 1.25, bigN)
+	return g
+}
+
+// Totals returns the run summary.
+func (g *Generator) Totals() Totals { return g.totals }
+
+// Run builds the population, schedules everything and drains the engine. It
+// returns the run totals.
+func (g *Generator) Run() Totals {
+	g.users = make([]*user, g.cfg.Users)
+	for i := range g.users {
+		u := &user{
+			id:    protocol.UserID(i + 1),
+			class: PickClass(g.rng),
+			rng:   rand.New(rand.NewSource(g.cfg.Seed + int64(i)*7919)),
+			dirs:  make(map[protocol.VolumeID][]protocol.NodeID),
+		}
+		u.par = params(u.class)
+		u.weight = u.par.weight.Sample(u.rng)
+		u.sizeBias = clamp(math.Pow(u.weight, 0.4), 0.5, 4)
+		u.rateBoost = clamp(math.Pow(u.weight, 0.45), 1, 8)
+		u.recentCap = int(clamp(64*math.Sqrt(u.weight), 64, 2048))
+		// 58% of users create at least one UDF (§6.3).
+		if u.rng.Float64() < 0.58 {
+			u.maxUDFs = 1 + u.rng.Intn(4)
+		}
+		token, err := g.c.Auth.Issue(u.id)
+		if err != nil {
+			panic(fmt.Sprintf("workload: issuing token: %v", err))
+		}
+		u.token = token
+		g.preseed(u)
+		g.users[i] = u
+		g.scheduleNextSession(u, g.cfg.Start)
+	}
+	g.totals.Users = len(g.users)
+
+	for _, a := range g.cfg.Attacks {
+		g.scheduleAttack(a)
+	}
+
+	// Broker deliveries and uploadjob GC happen on their production cadence.
+	g.schedulePump()
+	g.scheduleGC()
+
+	g.eng.Run()
+	return g.totals
+}
+
+// preseed provisions the files a user accumulated before the trace window
+// (half of U1's 137M files predate the month; download-only users in
+// particular consume content uploaded earlier or from other devices). The
+// writes go straight to the metadata and data stores, leaving no trace
+// records — exactly like pre-window history.
+func (g *Generator) preseed(u *user) {
+	var k int
+	switch u.class {
+	case Occasional:
+		k = u.rng.Intn(9)
+	case UploadOnly:
+		k = 3 + u.rng.Intn(18)
+	case DownloadOnly:
+		k = 30 + u.rng.Intn(120)
+	default: // Heavy
+		k = 20 + u.rng.Intn(100)
+	}
+	if k == 0 {
+		return
+	}
+	store := g.c.Store
+	root, err := store.CreateUser(u.id)
+	if err != nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		ext := g.prof.PickExtension(u.rng)
+		size := sampleSize(ext, u.rng)
+		h := g.pickHash(u, &ext, &size)
+		u.seq++
+		name := fmt.Sprintf("f%d-%d", u.id, u.seq)
+		if ext.Ext != "" {
+			name += "." + ext.Ext
+		}
+		node, err := store.MakeFile(u.id, root.ID, 0, name)
+		if err != nil {
+			continue
+		}
+		if _, _, _, err := store.MakeContent(u.id, root.ID, node.ID, h, size); err != nil {
+			continue
+		}
+		g.c.Blob.PutObjectSized(h.Hex(), size)
+	}
+}
+
+// pickHash draws content identity: popular Zipf content (with its
+// deterministic extension and size) or unique content. Large candidate
+// files get their own popular universe — everyone stores the same albums,
+// movies and installers, which is where the byte-level dedup savings of
+// §5.3 come from.
+func (g *Generator) pickHash(u *user, ext **ExtProfile, size *uint64) protocol.Hash {
+	if *size > 5<<20 && u.rng.Float64() < 0.35 {
+		rank := g.bigZipf.Rank()
+		popRng := rand.New(rand.NewSource(int64(rank) * 31))
+		*ext = g.prof.ExtByName(bigContentExts[popRng.Intn(len(bigContentExts))])
+		*size = uint64(dist.LognormalFromMedian(25<<20, 3).Sample(popRng))
+		return protocol.HashBytes([]byte(fmt.Sprintf("popbig-%d", rank)))
+	}
+	if u.rng.Float64() < g.prof.PopularContentP {
+		rank := g.zipf.Rank()
+		popRng := rand.New(rand.NewSource(int64(rank)))
+		*ext = g.prof.PickPopularExtension(popRng)
+		*size = sampleSize(*ext, popRng)
+		return protocol.HashBytes([]byte(fmt.Sprintf("pop-%d", rank)))
+	}
+	u.seq++
+	return protocol.HashBytes([]byte(fmt.Sprintf("u%d-c%d", u.id, u.seq)))
+}
+
+// bigContentExts are the types of widely duplicated large contents.
+var bigContentExts = []string{"mp4", "avi", "mkv", "zip", "tar", "mp3"}
+
+func (g *Generator) schedulePump() {
+	g.eng.After(10*time.Minute, func() {
+		g.c.PumpNotifications()
+		if g.eng.Now().Before(g.end) {
+			g.schedulePump()
+		}
+	})
+}
+
+func (g *Generator) scheduleGC() {
+	g.eng.After(24*time.Hour, func() {
+		g.c.SweepUploadJobs(g.eng.Now())
+		if g.eng.Now().Before(g.end) {
+			g.scheduleGC()
+		}
+	})
+}
+
+// hourOf returns the fractional hour-of-day and weekday of t.
+func hourOf(t time.Time) (float64, int) {
+	return float64(t.Hour()) + float64(t.Minute())/60, int(t.Weekday())
+}
+
+// scheduleNextSession draws the next session start by thinning an
+// exponential arrival stream against the diurnal profile.
+func (g *Generator) scheduleNextSession(u *user, from time.Time) {
+	meanGap := 24 * time.Hour
+	if rate := u.par.sessionsPerDay * u.rateBoost; rate > 0 {
+		meanGap = time.Duration(float64(24*time.Hour) / rate)
+	}
+	const fMax = 1.15 // peak diurnal factor incl. Monday boost
+	t := from
+	for i := 0; i < 1000; i++ {
+		gap := time.Duration(u.rng.ExpFloat64() * float64(meanGap))
+		t = t.Add(gap)
+		if t.After(g.end) {
+			return // user never connects again inside the window
+		}
+		h, wd := hourOf(t)
+		if u.rng.Float64() < g.prof.Sessions.Factor(h, wd)/fMax {
+			at := t
+			g.eng.At(at, func() { g.startSession(u) })
+			return
+		}
+	}
+}
+
+// startSession opens a session for u and schedules its activity.
+func (g *Generator) startSession(u *user) {
+	if u.online {
+		// The previous session is still running (overlap after a long
+		// active burst); try again later.
+		g.scheduleNextSession(u, g.eng.Now())
+		return
+	}
+	if u.cli == nil {
+		tr := client.NewDirectTransport(g.c.LeastLoaded, g.eng.Clock())
+		u.cli = client.New(tr)
+	}
+	if err := u.cli.Connect(u.token); err != nil {
+		// Auth failures happen (§7.3: 2.76%); the desktop client retries on
+		// its next scheduled connection.
+		g.totals.FailedAuths++
+		g.scheduleNextSession(u, g.eng.Now())
+		return
+	}
+	u.online = true
+	g.totals.Sessions++
+
+	now := g.eng.Now()
+	length := g.sessionLength(u)
+	sessionEnd := now.Add(length)
+
+	// Sub-second NAT-churn sessions do nothing but exist (§7.3).
+	if length < 5*time.Second {
+		g.eng.At(sessionEnd, func() { g.endSession(u) })
+		return
+	}
+
+	// First proper session: users who configure extra synced folders create
+	// their first UDF right away (58% of users end up with one, §6.3).
+	if u.udfs == 0 && u.maxUDFs > 0 {
+		if v, err := u.cli.CreateUDF(fmt.Sprintf("~/UDF-%d-0", u.id)); err == nil {
+			u.udfs = 1
+			u.udfVols = append(u.udfVols, v.ID)
+			u.dirs[v.ID] = nil
+		}
+	}
+
+	// Accept pending share offers, then synchronize mirrors (the
+	// "generation point" run on every connection, §3.4.2).
+	g.acceptPendingShares(u)
+	g.syncMirrors(u)
+	if len(u.files) == 0 {
+		g.adoptMirrorFiles(u)
+	}
+
+	h, wd := hourOf(now)
+	activeP := u.par.activeP * g.prof.Activity.Factor(h, wd)
+	if u.rng.Float64() < activeP {
+		ops := int(g.prof.OpsPerActiveSession.Sample(u.rng) * scaleWeight(u.weight))
+		if ops < 1 {
+			ops = 1
+		}
+		if ops > 50000 {
+			ops = 50000
+		}
+		// Long op chains belong to long sessions (Fig. 16: active sessions
+		// are much longer than cold ones; the most active 20% of sessions
+		// carry 96.7% of operations). Stretch the session to fit its work.
+		if need := time.Duration(ops) * 15 * time.Second; length < need {
+			sessionEnd = now.Add(need)
+		}
+		run := &sessionRun{g: g, u: u, end: sessionEnd, opsLeft: ops}
+		g.eng.After(g.intraGap(u), run.step)
+	}
+	g.eng.At(sessionEnd, func() { g.endSession(u) })
+}
+
+// scaleWeight converts the user's long-run weight into a per-session ops
+// multiplier. The square root compresses the cross-user range (which spans
+// orders of magnitude to produce the traffic Gini) into what one session can
+// plausibly hold; the rest of the skew comes from heavy users having more
+// and longer sessions.
+func scaleWeight(w float64) float64 {
+	return clamp(math.Sqrt(w), 0.2, 12)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func (g *Generator) endSession(u *user) {
+	if !u.online {
+		return
+	}
+	u.online = false
+	u.cli.Disconnect() //nolint:errcheck
+	g.scheduleNextSession(u, g.eng.Now())
+}
+
+func (g *Generator) sessionLength(u *user) time.Duration {
+	var secs float64
+	if u.rng.Float64() < g.prof.ShortSessionP {
+		secs = g.prof.ShortSession.Sample(u.rng)
+	} else {
+		secs = g.prof.SessionBody.Sample(u.rng)
+		if cap := 7 * 24 * 3600.0; secs > cap {
+			secs = cap
+		}
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+func (g *Generator) acceptPendingShares(u *user) {
+	shares, err := u.cli.ListShares()
+	if err != nil {
+		return
+	}
+	for _, sh := range shares {
+		if sh.SharedTo == u.id && !sh.Accepted {
+			u.cli.AcceptShare(sh.ID) //nolint:errcheck
+		}
+	}
+}
+
+// adoptMirrorFiles seeds the user's working set from the mirror after the
+// first synchronization (pre-window files become download candidates).
+func (g *Generator) adoptMirrorFiles(u *user) {
+	root, ok := u.cli.RootVolume()
+	if !ok {
+		return
+	}
+	m, ok := u.cli.Mirror(root)
+	if !ok {
+		return
+	}
+	ids := make([]protocol.NodeID, 0, len(m.Nodes))
+	for id, info := range m.Nodes {
+		if info.Kind == protocol.KindFile && !info.Hash.IsZero() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := m.Nodes[id]
+		u.files = append(u.files, fileRef{
+			vol:     root,
+			node:    id,
+			parent:  info.Parent,
+			name:    info.Name,
+			ext:     g.prof.ExtByName(extFromName(info.Name)),
+			created: g.cfg.Start,
+		})
+	}
+}
+
+func (g *Generator) syncMirrors(u *user) {
+	vols, err := u.cli.ListVolumes()
+	if err != nil {
+		return
+	}
+	for _, v := range vols {
+		u.cli.Sync(v.ID) //nolint:errcheck
+	}
+}
+
+func (g *Generator) intraGap(u *user) time.Duration {
+	return time.Duration(g.prof.IntraBurstGap.Sample(u.rng) * float64(time.Second))
+}
+
+func (g *Generator) interGap(u *user) time.Duration {
+	return time.Duration(g.prof.InterBurstGap.Sample(u.rng) * float64(time.Second))
+}

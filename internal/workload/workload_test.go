@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"u1/internal/protocol"
+	"u1/internal/server"
+	"u1/internal/sim"
+	"u1/internal/trace"
+)
+
+// runSmall generates a small trace and returns the generator, collector and
+// cluster for inspection.
+func runSmall(t *testing.T, users, days int, attacks []Attack, seed int64) (*Generator, *trace.Collector, *server.Cluster) {
+	t.Helper()
+	cluster := server.NewCluster(server.Config{Seed: seed})
+	start := PaperStart
+	col := trace.NewCollector(trace.Config{Start: start, Days: days, Shards: cluster.Store.NumShards(), Seed: seed})
+	cluster.AddAPIObserver(col.APIObserver())
+	cluster.AddRPCObserver(col.RPCObserver())
+	eng := sim.New(start)
+	g := New(Config{Users: users, Days: days, Start: start, Seed: seed, Attacks: attacks}, cluster, eng)
+	g.Run()
+	return g, col, cluster
+}
+
+func TestGeneratorProducesWorkload(t *testing.T) {
+	g, col, cluster := runSmall(t, 150, 3, []Attack{}, 11)
+	tot := g.Totals()
+	if tot.Sessions == 0 {
+		t.Fatal("no sessions generated")
+	}
+	if tot.Uploads == 0 || tot.Downloads == 0 {
+		t.Errorf("transfers missing: %+v", tot)
+	}
+	if tot.Deletes == 0 {
+		t.Errorf("no deletes: %+v", tot)
+	}
+	recs := col.Records()
+	if len(recs) == 0 {
+		t.Fatal("no trace records")
+	}
+	// All records inside the trace window.
+	end := PaperStart.Add(3 * 24 * time.Hour).Add(8 * 24 * time.Hour) // sessions may outlive the window
+	for _, r := range recs {
+		at := r.When()
+		if at.Before(PaperStart) || at.After(end) {
+			t.Fatalf("record outside window: %v", at)
+		}
+	}
+	// The RPC aggregate saw traffic on several shards.
+	agg := col.RPC()
+	var activeShards int
+	for s := range agg.ShardMinute {
+		for _, n := range agg.ShardMinute[s] {
+			if n > 0 {
+				activeShards++
+				break
+			}
+		}
+	}
+	if activeShards < 5 {
+		t.Errorf("traffic on %d shards only", activeShards)
+	}
+	// Dedup happened (popular content).
+	if dr := cluster.Store.Contents().DedupRatio(); dr <= 0 {
+		t.Errorf("dedup ratio = %v", dr)
+	}
+	// Auth failures injected at the configured rate appear.
+	if cluster.Auth.Stats().Failed == 0 && tot.FailedAuths == 0 {
+		t.Log("note: no auth failures in this small run (rate is 2.76%)")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, col1, _ := runSmall(t, 80, 2, []Attack{}, 42)
+	g2, col2, _ := runSmall(t, 80, 2, []Attack{}, 42)
+	if g1.Totals() != g2.Totals() {
+		t.Errorf("totals differ:\n%+v\n%+v", g1.Totals(), g2.Totals())
+	}
+	if col1.Len() != col2.Len() {
+		t.Errorf("record counts differ: %d vs %d", col1.Len(), col2.Len())
+	}
+}
+
+func TestAttackInjection(t *testing.T) {
+	attacks := []Attack{{Day: 0, Hour: 6, Duration: time.Hour, APIFactor: 50, AuthFactor: 10}}
+	g, col, _ := runSmall(t, 100, 1, attacks, 5)
+	if g.Totals().AttackSessions == 0 {
+		t.Fatal("no attack sessions ran")
+	}
+	// The attack hour must dominate the day's request counts.
+	perHour := make([]int, 24)
+	for _, r := range col.Records() {
+		h := int(r.When().Sub(PaperStart) / time.Hour)
+		if h >= 0 && h < 24 {
+			perHour[h]++
+		}
+	}
+	attackHour := perHour[6] + perHour[7]
+	var rest, restHours int
+	for h, n := range perHour {
+		if h != 6 && h != 7 {
+			rest += n
+			restHours++
+		}
+	}
+	if rest == 0 {
+		t.Skip("baseline too small to compare")
+	}
+	baselinePerHour := float64(rest) / float64(restHours)
+	if float64(attackHour)/2 < 5*baselinePerHour {
+		t.Errorf("attack hours carry %d requests vs baseline %f/h; expected ≥5x spike",
+			attackHour, baselinePerHour)
+	}
+}
+
+func TestClassMixMatchesPaper(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	counts := map[Class]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[PickClass(r)]++
+	}
+	want := map[Class]float64{Occasional: 0.8582, UploadOnly: 0.0722, DownloadOnly: 0.0234, Heavy: 0.0462}
+	for class, share := range want {
+		got := float64(counts[class]) / n
+		if got < share*0.9 || got > share*1.1 {
+			t.Errorf("class %v share = %v, want ≈ %v", class, got, share)
+		}
+	}
+}
+
+func TestExtensionCatalog(t *testing.T) {
+	exts := DefaultExtensions()
+	if len(exts) < 35 {
+		t.Errorf("catalog has %d extensions", len(exts))
+	}
+	cats := map[Category]bool{}
+	for _, e := range exts {
+		cats[e.Cat] = true
+		if e.Weight <= 0 {
+			t.Errorf("extension %q has weight %v", e.Ext, e.Weight)
+		}
+		if e.Compress <= 0 || e.Compress > 1 {
+			t.Errorf("extension %q has compressibility %v", e.Ext, e.Compress)
+		}
+	}
+	for c := CatCode; c <= CatOther; c++ {
+		if !cats[c] {
+			t.Errorf("category %v has no extensions", c)
+		}
+		if c.String() == "" {
+			t.Error("category must render")
+		}
+	}
+}
+
+func TestFileSizesMostlySmall(t *testing.T) {
+	// 90% of files are smaller than 1 MB (§5.3); verify the catalog's
+	// aggregate stays in that neighborhood.
+	p := DefaultProfile()
+	r := rand.New(rand.NewSource(3))
+	var small, total int
+	for i := 0; i < 50000; i++ {
+		ext := p.PickExtension(r)
+		if sampleSize(ext, r) < 1<<20 {
+			small++
+		}
+		total++
+	}
+	frac := float64(small) / float64(total)
+	if frac < 0.82 || frac > 0.97 {
+		t.Errorf("small-file fraction = %v, want ≈ 0.90", frac)
+	}
+}
+
+func TestSessionLengthShape(t *testing.T) {
+	// 32% < 1 s and ≈97% < 8 h (§7.3).
+	p := DefaultProfile()
+	g := &Generator{prof: p}
+	u := &user{rng: rand.New(rand.NewSource(9))}
+	var sub1s, sub8h, n int
+	for i := 0; i < 30000; i++ {
+		l := g.sessionLength(u)
+		n++
+		if l <= time.Second {
+			sub1s++
+		}
+		if l <= 8*time.Hour {
+			sub8h++
+		}
+	}
+	if f := float64(sub1s) / float64(n); f < 0.28 || f > 0.37 {
+		t.Errorf("sub-second sessions = %v, want ≈ 0.32", f)
+	}
+	if f := float64(sub8h) / float64(n); f < 0.94 || f > 0.995 {
+		t.Errorf("sub-8h sessions = %v, want ≈ 0.97", f)
+	}
+}
+
+func TestUserClassParamsComplete(t *testing.T) {
+	for _, c := range []Class{Occasional, UploadOnly, DownloadOnly, Heavy} {
+		par := params(c)
+		if par.activeP <= 0 || par.activeP > 1 {
+			t.Errorf("class %v activeP = %v", c, par.activeP)
+		}
+		if par.upP+par.downP > 1 {
+			t.Errorf("class %v transfer probabilities exceed 1", c)
+		}
+		if par.weight == nil || par.sessionsPerDay <= 0 {
+			t.Errorf("class %v incomplete params", c)
+		}
+		if c.String() == "" {
+			t.Error("class must render")
+		}
+	}
+}
+
+func TestDefaultAttacksMatchPaperDays(t *testing.T) {
+	atts := DefaultAttacks()
+	if len(atts) != 3 {
+		t.Fatalf("attacks = %d", len(atts))
+	}
+	days := []int{atts[0].Day, atts[1].Day, atts[2].Day}
+	if days[0] != 4 || days[1] != 5 || days[2] != 26 {
+		t.Errorf("attack days = %v, want Jan 15/16 + Feb 6 (4, 5, 26)", days)
+	}
+	if atts[1].APIFactor != 245 {
+		t.Errorf("big attack factor = %v", atts[1].APIFactor)
+	}
+}
+
+func TestTraceRoundTripFromGenerator(t *testing.T) {
+	_, col, _ := runSmall(t, 60, 1, []Attack{}, 21)
+	dir := t.TempDir()
+	if err := col.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != col.Len() {
+		t.Errorf("read %d records, wrote %d", len(ds.Records), col.Len())
+	}
+	if ds.BadLines != 0 {
+		t.Errorf("bad lines = %d", ds.BadLines)
+	}
+	// Sessions must appear as auth/close pairs per session id.
+	open := map[uint64]int{}
+	for _, r := range ds.Records {
+		if r.Kind == trace.KindSession {
+			switch protocol.Op(r.Op) {
+			case protocol.OpAuthenticate:
+				open[r.Session]++
+			case protocol.OpCloseSession:
+				open[r.Session]--
+			}
+		}
+	}
+	for sess, n := range open {
+		if n < 0 {
+			t.Errorf("session %d closed more than opened", sess)
+		}
+	}
+}
