@@ -20,6 +20,7 @@ import (
 	"u1/internal/blob"
 	"u1/internal/client"
 	"u1/internal/metadata"
+	"u1/internal/metrics"
 	"u1/internal/protocol"
 	"u1/internal/server"
 	"u1/internal/sim"
@@ -29,9 +30,13 @@ import (
 )
 
 var (
-	benchOnce  sync.Once
-	benchRaw   *analysis.Trace
-	benchClean *analysis.Trace
+	benchOnce    sync.Once
+	benchRaw     *analysis.Trace
+	benchClean   *analysis.Trace
+	benchCluster *server.Cluster
+	benchUsers   int
+	benchDays    int
+	benchGenWall time.Duration
 )
 
 func envInt(name string, def int) int {
@@ -59,12 +64,16 @@ func benchTrace(b *testing.B) (*analysis.Trace, *analysis.Trace) {
 		cluster.AddAPIObserver(col.APIObserver())
 		cluster.AddRPCObserver(col.RPCObserver())
 		eng := sim.New(workload.PaperStart)
+		genStart := time.Now()
 		workload.New(workload.Config{
 			Users: users, Days: days, Seed: 2,
 			Attacks: []workload.Attack{
 				{Day: 2, Hour: 13, Duration: 2 * time.Hour, APIFactor: 60, AuthFactor: 10},
 			},
 		}, cluster, eng).Run()
+		benchGenWall = time.Since(genStart)
+		benchCluster = cluster
+		benchUsers, benchDays = users, days
 		benchRaw = analysis.FromCollector(col, workload.PaperStart, days)
 		benchClean = benchRaw.Sanitize()
 	})
@@ -355,6 +364,47 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		}, cluster, eng)
 		g.Run()
 		b.ReportMetric(float64(eng.Executed()), "events")
+	}
+}
+
+// BenchmarkObservability snapshots the live metrics registry of the shared
+// bench cluster, derives the machine-readable benchmark report (ops/sec,
+// per-op p50/p95/p99 latency, shard balance) and writes it to BENCH_1.json
+// (override with U1_BENCH_OUT, empty disables) — the artifact the CI
+// bench-smoke job archives as the repo's perf trajectory.
+func BenchmarkObservability(b *testing.B) {
+	benchTrace(b)
+	out := "BENCH_1.json"
+	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
+		out = v
+	}
+	b.ResetTimer()
+	var rep metrics.BenchReport
+	for i := 0; i < b.N; i++ {
+		rep = metrics.BuildBenchReport(benchCluster.Metrics.Snapshot(), benchGenWall.Seconds(), benchUsers, benchDays)
+	}
+	if rep.TotalOps == 0 {
+		b.Fatal("metrics registry recorded no operations")
+	}
+	if len(rep.Shards.Reads) == 0 {
+		b.Fatal("no shard counters in report")
+	}
+	for _, op := range []string{"Upload", "Download", "GetDelta"} {
+		st, ok := rep.Ops[op]
+		if !ok || st.Count == 0 {
+			b.Fatalf("op %s missing from report", op)
+		}
+		if st.P50Ms <= 0 || st.P99Ms < st.P50Ms {
+			b.Fatalf("op %s has degenerate quantiles: %+v", op, st)
+		}
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/s")
+	b.ReportMetric(float64(rep.TotalOps), "total_ops")
+	b.ReportMetric(rep.Shards.CV, "shard_cv")
+	if out != "" {
+		if err := metrics.WriteBenchReport(out, rep); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,18 +1,22 @@
 // Command u1bench runs the full experiment suite: it generates the default
 // 30-day trace, runs every analysis, and prints a paper-vs-measured report —
-// the data recorded in EXPERIMENTS.md.
+// the data recorded in EXPERIMENTS.md. It also snapshots the cluster's live
+// metrics registry and writes the machine-readable benchmark record
+// (BENCH_*.json) that CI archives as the repo's perf trajectory.
 //
 // Usage:
 //
-//	u1bench [-users 2000] [-days 30] [-seed 1]
+//	u1bench [-users 2000] [-days 30] [-seed 1] [-bench-out BENCH_1.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"u1/internal/analysis"
+	"u1/internal/metrics"
 	"u1/internal/server"
 	"u1/internal/sim"
 	"u1/internal/trace"
@@ -23,6 +27,7 @@ func main() {
 	users := flag.Int("users", 2000, "population size (paper: 1.29M)")
 	days := flag.Int("days", 30, "trace window in days (paper: 30)")
 	seed := flag.Int64("seed", 1, "random seed")
+	benchOut := flag.String("bench-out", "BENCH_1.json", "benchmark report path (empty to skip)")
 	flag.Parse()
 
 	start := time.Now()
@@ -34,7 +39,11 @@ func main() {
 	cluster.AddAPIObserver(col.APIObserver())
 	cluster.AddRPCObserver(col.RPCObserver())
 	eng := sim.New(workload.PaperStart)
+	// Stamp generation time around Run only, matching bench_test.go so the
+	// two producers of the u1-bench/1 schema report commensurable ops/sec.
+	genStart := time.Now()
 	workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed}, cluster, eng).Run()
+	genWall := time.Since(genStart)
 	t := analysis.FromCollector(col, workload.PaperStart, *days)
 	clean := t.Sanitize()
 	fmt.Printf("== U1 reproduction: %d users, %d days, %d records (generated in %v) ==\n\n",
@@ -158,6 +167,26 @@ func main() {
 	row("§9", "downloads served by a 24h cache", "RAR-heavy", fmt.Sprintf("%.1f%%", 100*wi.CacheHitRate))
 
 	fmt.Println(strings78)
+
+	// Observability section: the same numbers, but read live from the
+	// metrics registry instead of the offline trace — and archived as the
+	// machine-readable perf record.
+	rep := metrics.BuildBenchReport(cluster.Metrics.Snapshot(), genWall.Seconds(), *users, *days)
+	fmt.Printf("\n== live metrics (%d ops, %.0f ops/s of generation) ==\n", rep.TotalOps, rep.OpsPerSec)
+	fmt.Printf("%-14s %10s %8s %10s %10s %10s\n", "op", "count", "errors", "p50_ms", "p95_ms", "p99_ms")
+	for _, name := range rep.SortedOpNames() {
+		st := rep.Ops[name]
+		fmt.Printf("%-14s %10d %8d %10.2f %10.2f %10.2f\n",
+			name, st.Count, st.Errors, st.P50Ms, st.P95Ms, st.P99Ms)
+	}
+	fmt.Printf("shard balance: reads %v writes %v (CV %.3f)\n", rep.Shards.Reads, rep.Shards.Writes, rep.Shards.CV)
+	if *benchOut != "" {
+		if err := metrics.WriteBenchReport(*benchOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark report written to %s\n", *benchOut)
+	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 }
 

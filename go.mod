@@ -1,0 +1,3 @@
+module u1
+
+go 1.22

@@ -22,6 +22,7 @@ import (
 	"u1/internal/auth"
 	"u1/internal/blob"
 	"u1/internal/metadata"
+	"u1/internal/metrics"
 	"u1/internal/notify"
 	"u1/internal/protocol"
 	"u1/internal/rpc"
@@ -69,6 +70,10 @@ type Deps struct {
 	Blob     *blob.Store
 	Broker   *notify.Broker
 	Transfer blob.TransferModel
+	// Metrics is the fleet-shared registry; per-operation latency and error
+	// counts aggregate across all API servers wired to the same registry.
+	// nil keeps the server fully functional but unobserved.
+	Metrics *metrics.Registry
 }
 
 // Config parameterizes one API server machine.
@@ -120,6 +125,14 @@ type Server struct {
 	observers []Observer
 	procOps   []uint64 // per-process API op counters (atomic)
 
+	// Per-op instrumentation handles, indexed by protocol.Op. Resolved once
+	// at construction so the request path records through plain pointers.
+	opSeconds      []*metrics.Histogram
+	opCount        []*metrics.Counter
+	opErrors       []*metrics.Counter
+	activeSessions *metrics.Gauge
+	machineOps     *metrics.Counter
+
 	uploadsMu sync.Mutex
 	uploads   map[protocol.UploadID]*pendingUpload
 }
@@ -155,11 +168,38 @@ func New(cfg Config, deps Deps) *Server {
 		byUser:   make(map[protocol.UserID]map[protocol.SessionID]*Session),
 		procOps:  make([]uint64, cfg.Procs),
 		uploads:  make(map[protocol.UploadID]*pendingUpload),
+
+		activeSessions: deps.Metrics.Gauge("api.sessions.active"),
+		machineOps:     deps.Metrics.Counter("api.server." + cfg.Name + ".ops"),
+	}
+	ops := protocol.Ops()
+	s.opSeconds = make([]*metrics.Histogram, len(ops))
+	s.opCount = make([]*metrics.Counter, len(ops))
+	s.opErrors = make([]*metrics.Counter, len(ops))
+	for _, op := range ops {
+		name := metrics.APIOpPrefix + op.String()
+		s.opSeconds[op] = deps.Metrics.Histogram(name + ".seconds")
+		s.opCount[op] = deps.Metrics.Counter(name + ".count")
+		s.opErrors[op] = deps.Metrics.Counter(name + ".errors")
 	}
 	if deps.Broker != nil {
 		s.queue = deps.Broker.Register(cfg.Name, cfg.QueueDepth)
 	}
 	return s
+}
+
+// record charges one completed operation to the fleet metrics: its simulated
+// service time into the per-op histogram, plus outcome counters.
+func (s *Server) record(op protocol.Op, dur time.Duration, status protocol.Status) {
+	if int(op) >= len(s.opSeconds) {
+		return
+	}
+	s.opCount[op].Inc()
+	s.machineOps.Inc()
+	s.opSeconds[op].Observe(dur.Seconds())
+	if status != protocol.StatusOK {
+		s.opErrors[op].Inc()
+	}
 }
 
 // Name returns the server's machine name.
@@ -228,6 +268,7 @@ func (s *Server) OpenSession(token string, pusher Pusher, now time.Time) (*Sessi
 		Status:   status,
 	}
 	if err != nil {
+		s.record(protocol.OpAuthenticate, dur, status)
 		s.emit(ev)
 		return nil, &protocol.Response{Status: status}, dur
 	}
@@ -235,6 +276,7 @@ func (s *Server) OpenSession(token string, pusher Pusher, now time.Time) (*Sessi
 	if _, err := s.deps.RPC.Store().CreateUser(user); err != nil {
 		status = protocol.StatusOf(err)
 		ev.Status = status
+		s.record(protocol.OpAuthenticate, dur, status)
 		s.emit(ev)
 		return nil, &protocol.Response{Status: status}, dur
 	}
@@ -257,6 +299,8 @@ func (s *Server) OpenSession(token string, pusher Pusher, now time.Time) (*Sessi
 	userSessions[sess.ID] = sess
 	s.mu.Unlock()
 
+	s.activeSessions.Inc()
+	s.record(protocol.OpAuthenticate, dur, protocol.StatusOK)
 	s.emit(ev)
 	return sess, &protocol.Response{Status: protocol.StatusOK, Session: sess.ID, User: user}, dur
 }
@@ -267,6 +311,7 @@ func (s *Server) CloseSession(sess *Session, now time.Time) {
 		return
 	}
 	s.mu.Lock()
+	_, present := s.sessions[sess.ID]
 	delete(s.sessions, sess.ID)
 	if userSessions, ok := s.byUser[sess.User]; ok {
 		delete(userSessions, sess.ID)
@@ -287,6 +332,10 @@ func (s *Server) CloseSession(sess *Session, now time.Time) {
 	s.uploadsMu.Unlock()
 
 	atomic.AddUint64(&s.procOps[sess.Proc], 1)
+	if present { // double-close must not skew the gauge or the op counters
+		s.activeSessions.Dec()
+		s.record(protocol.OpCloseSession, 0, protocol.StatusOK)
+	}
 	s.emit(Event{
 		Server:  s.cfg.Name,
 		Proc:    sess.Proc,

@@ -139,6 +139,7 @@ func (s *Server) Handle(sess *Session, req *protocol.Request, now time.Time) (*p
 
 	ev.Duration = dur
 	ev.Status = resp.Status
+	s.record(req.Op, dur, resp.Status)
 	// The trace records transfers at upload/download granularity, as the
 	// paper's dataset does: a PutContent that opens an upload job reports
 	// when its last part lands (handlePutPart emits that event), and part

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"u1/internal/metrics"
 )
 
 // PartSize is the multipart chunk size used by U1 (appendix A: 5 MB).
@@ -33,6 +35,9 @@ var (
 type Config struct {
 	// KeepData retains object bytes. Disable for large-scale simulation.
 	KeepData bool
+	// Metrics receives put/get byte counters, object-size distribution and
+	// operation latency (nil disables registration).
+	Metrics *metrics.Registry
 }
 
 // Counters aggregates the request accounting a provider bills by — the paper
@@ -48,9 +53,23 @@ type Counters struct {
 	Objects                      uint64
 }
 
+// blobMetrics holds the store's registered handles: logical transfer volume
+// (what the provider bills), the object size distribution, and the wall-time
+// cost of store operations on this host.
+type blobMetrics struct {
+	putBytes    *metrics.Counter
+	getBytes    *metrics.Counter
+	deletes     *metrics.Counter
+	objectBytes *metrics.Histogram
+	putSeconds  *metrics.Histogram
+	getSeconds  *metrics.Histogram
+	objectsHeld *metrics.Gauge
+}
+
 // Store is the object store.
 type Store struct {
 	cfg Config
+	m   blobMetrics
 
 	mu       sync.RWMutex
 	objects  map[string]*object
@@ -76,7 +95,16 @@ type multipartUpload struct {
 // New creates an empty store.
 func New(cfg Config) *Store {
 	return &Store{
-		cfg:     cfg,
+		cfg: cfg,
+		m: blobMetrics{
+			putBytes:    cfg.Metrics.Counter("blob.put.bytes"),
+			getBytes:    cfg.Metrics.Counter("blob.get.bytes"),
+			deletes:     cfg.Metrics.Counter("blob.deletes"),
+			objectBytes: cfg.Metrics.Histogram("blob.object.bytes"),
+			putSeconds:  cfg.Metrics.Histogram("blob.put.seconds"),
+			getSeconds:  cfg.Metrics.Histogram("blob.get.seconds"),
+			objectsHeld: cfg.Metrics.Gauge("blob.objects.held"),
+		},
 		objects: make(map[string]*object),
 		uploads: make(map[string]*multipartUpload),
 	}
@@ -85,19 +113,29 @@ func New(cfg Config) *Store {
 // PutObject stores data under key in one shot (used for contents at or below
 // one part).
 func (s *Store) PutObject(key string, data []byte) error {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.putLocked(key, uint64(len(data)), data)
+	s.mu.Unlock()
+	s.recordPut(uint64(len(data)), start)
 	return nil
 }
 
 // PutObjectSized stores a size-only object (metered mode helper for the
 // simulator, which never materializes contents).
 func (s *Store) PutObjectSized(key string, size uint64) error {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.putLocked(key, size, nil)
+	s.mu.Unlock()
+	s.recordPut(size, start)
 	return nil
+}
+
+func (s *Store) recordPut(size uint64, start time.Time) {
+	s.m.putBytes.Add(size)
+	s.m.objectBytes.Observe(float64(size))
+	s.m.putSeconds.Observe(time.Since(start).Seconds())
 }
 
 func (s *Store) putLocked(key string, size uint64, data []byte) {
@@ -116,23 +154,31 @@ func (s *Store) putLocked(key string, size uint64, data []byte) {
 	s.counters.BytesIn += size
 	s.counters.BytesHeld += size
 	s.counters.Objects++
+	s.m.objectsHeld.Set(int64(s.counters.Objects))
 }
 
 // GetObject returns the object's bytes. In metered mode it synthesizes
 // deterministic pseudo-content of the recorded size.
 func (s *Store) GetObject(key string) ([]byte, error) {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	obj, ok := s.objects[key]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
 	}
 	s.counters.Gets++
 	s.counters.BytesOut += obj.size
+	var out []byte
 	if obj.data != nil {
-		return append([]byte(nil), obj.data...), nil
+		out = append([]byte(nil), obj.data...)
+	} else {
+		out = synthesize(key, obj.size)
 	}
-	return synthesize(key, obj.size), nil
+	s.mu.Unlock()
+	s.m.getBytes.Add(obj.size)
+	s.m.getSeconds.Observe(time.Since(start).Seconds())
+	return out, nil
 }
 
 // HeadObject returns the object's size without transferring it.
@@ -155,8 +201,10 @@ func (s *Store) DeleteObject(key string) {
 		s.counters.BytesHeld -= obj.size
 		s.counters.Objects--
 		delete(s.objects, key)
+		s.m.objectsHeld.Set(int64(s.counters.Objects))
 	}
 	s.counters.Deletes++
+	s.m.deletes.Inc()
 }
 
 // CreateMultipartUpload starts a multipart upload towards key and returns the
@@ -200,6 +248,7 @@ func (s *Store) uploadPart(id string, partNum int, size uint64, data []byte) err
 	}
 	s.counters.PartsUploaded++
 	s.counters.BytesIn += size
+	s.m.putBytes.Add(size)
 	return nil
 }
 
@@ -225,6 +274,8 @@ func (s *Store) CompleteMultipartUpload(id string) error {
 	s.counters.BytesHeld += up.size
 	s.counters.Objects++
 	s.counters.MultipartCompleted++
+	s.m.objectsHeld.Set(int64(s.counters.Objects))
+	s.m.objectBytes.Observe(float64(up.size))
 	return nil
 }
 

@@ -12,10 +12,24 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
+
+	"u1/internal/metrics"
 )
 
 // ErrNoBackends is returned when no backend is registered.
 var ErrNoBackends = errors.New("gateway: no backends registered")
+
+// balancerMetrics holds the gateway's registered handles: session placement
+// volume, the live session gauge, and the cost of each least-loaded routing
+// decision.
+type balancerMetrics struct {
+	placed       *metrics.Counter
+	activeConns  *metrics.Gauge
+	placeSeconds *metrics.Histogram
+	reg          *metrics.Registry
+	perBackend   map[string]*metrics.Counter
+}
 
 // Balancer assigns sessions to the least-loaded backend and tracks active
 // session counts. It is safe for concurrent use.
@@ -23,15 +37,42 @@ type Balancer struct {
 	mu     sync.Mutex
 	active map[string]int
 	total  map[string]uint64
+	m      balancerMetrics
 }
 
 // NewBalancer creates a balancer over the given backend names.
 func NewBalancer(backends ...string) *Balancer {
 	b := &Balancer{active: make(map[string]int), total: make(map[string]uint64)}
+	b.Instrument(nil)
 	for _, name := range backends {
 		b.active[name] = 0
 	}
 	return b
+}
+
+// Instrument registers the balancer's placement metrics on reg. Call before
+// traffic starts; a nil registry leaves the balancer unobserved.
+func (b *Balancer) Instrument(reg *metrics.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = balancerMetrics{
+		placed:       reg.Counter("gateway.sessions.placed"),
+		activeConns:  reg.Gauge("gateway.sessions.active"),
+		placeSeconds: reg.Histogram("gateway.place.seconds"),
+		reg:          reg,
+		perBackend:   make(map[string]*metrics.Counter),
+	}
+}
+
+// backendCounter resolves (caching) the per-backend placement counter.
+// Caller holds b.mu.
+func (b *Balancer) backendCounter(name string) *metrics.Counter {
+	c, ok := b.m.perBackend[name]
+	if !ok {
+		c = b.m.reg.Counter("gateway.backend." + name + ".placed")
+		b.m.perBackend[name] = c
+	}
+	return c
 }
 
 // AddBackend registers a backend (API server process) with zero load.
@@ -54,6 +95,7 @@ func (b *Balancer) RemoveBackend(name string) {
 // returns its name. Ties break deterministically by name so tests are
 // stable.
 func (b *Balancer) Acquire() (string, error) {
+	start := time.Now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.active) == 0 {
@@ -72,6 +114,10 @@ func (b *Balancer) Acquire() (string, error) {
 	}
 	b.active[best]++
 	b.total[best]++
+	b.m.placed.Inc()
+	b.m.activeConns.Inc()
+	b.backendCounter(best).Inc()
+	b.m.placeSeconds.Observe(time.Since(start).Seconds())
 	return best, nil
 }
 
@@ -81,6 +127,7 @@ func (b *Balancer) Release(name string) {
 	defer b.mu.Unlock()
 	if n, ok := b.active[name]; ok && n > 0 {
 		b.active[name] = n - 1
+		b.m.activeConns.Dec()
 	}
 }
 

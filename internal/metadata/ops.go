@@ -3,6 +3,7 @@ package metadata
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"u1/internal/protocol"
 )
@@ -22,9 +23,7 @@ type UserData struct {
 // volume, so client re-installs do not error.
 func (s *Store) CreateUser(user protocol.UserID) (protocol.VolumeInfo, error) {
 	sh := s.shardOf(user)
-	sh.writeOp()
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	defer sh.wunlock(sh.wlock())
 	if u, ok := sh.users[user]; ok {
 		return sh.volumes[u.root].info, nil
 	}
@@ -73,9 +72,7 @@ func (s *Store) newVolumeLocked(sh *shard, owner protocol.UserID, typ protocol.V
 // GetUserData returns the account summary (dal.get_user_data).
 func (s *Store) GetUserData(user protocol.UserID) (UserData, error) {
 	sh := s.shardOf(user)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	u, ok := sh.users[user]
 	if !ok {
 		return UserData{}, protocol.ErrNotFound
@@ -123,11 +120,10 @@ func checkAccessLocked(sh *shard, vr *volumeRow, user protocol.UserID, write boo
 // volumes (dal.list_volumes; performed at session start, Table 2).
 func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error) {
 	sh := s.shardOf(user)
-	sh.readOp()
-	sh.mu.RLock()
+	lockedAt := sh.rlock()
 	u, ok := sh.users[user]
 	if !ok {
-		sh.mu.RUnlock()
+		sh.runlock(lockedAt)
 		return nil, protocol.ErrNotFound
 	}
 	out := make([]protocol.VolumeInfo, 0, len(u.volumes)+len(u.sharesIn))
@@ -143,7 +139,7 @@ func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error)
 			sharedVols = append(sharedVols, share.Volume)
 		}
 	}
-	sh.mu.RUnlock()
+	sh.runlock(lockedAt)
 	sort.Slice(sharedVols, func(i, j int) bool { return sharedVols[i] < sharedVols[j] })
 
 	for _, volID := range sharedVols {
@@ -152,14 +148,13 @@ func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error)
 			continue // volume deleted concurrently
 		}
 		osh := s.shardOf(owner)
-		osh.readOp()
-		osh.mu.RLock()
+		oLockedAt := osh.rlock()
 		if vr, ok := osh.volumes[volID]; ok {
 			info := vr.info
 			info.Type = protocol.VolumeShared
 			out = append(out, info)
 		}
-		osh.mu.RUnlock()
+		osh.runlock(oLockedAt)
 	}
 	return out, nil
 }
@@ -168,9 +163,7 @@ func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error)
 // offered (dal.list_shares, Table 2).
 func (s *Store) ListShares(user protocol.UserID) ([]protocol.ShareInfo, error) {
 	sh := s.shardOf(user)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	u, ok := sh.users[user]
 	if !ok {
 		return nil, protocol.ErrNotFound
@@ -196,9 +189,7 @@ func (s *Store) CreateUDF(user protocol.UserID, path string) (protocol.VolumeInf
 		return protocol.VolumeInfo{}, fmt.Errorf("%w: empty UDF path", protocol.ErrBadRequest)
 	}
 	sh := s.shardOf(user)
-	sh.writeOp()
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	defer sh.wunlock(sh.wlock())
 	u, ok := sh.users[user]
 	if !ok {
 		return protocol.VolumeInfo{}, protocol.ErrNotFound
@@ -220,9 +211,7 @@ func (s *Store) GetVolume(user protocol.UserID, vol protocol.VolumeID) (protocol
 		return protocol.VolumeInfo{}, err
 	}
 	sh := s.shardOf(owner)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return protocol.VolumeInfo{}, protocol.ErrNotFound
@@ -246,15 +235,14 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 		return nil, nil, protocol.ErrPermission // only owners delete volumes
 	}
 	sh := s.shardOf(owner)
-	sh.writeOp()
-	sh.mu.Lock()
+	lockedAt := sh.wlock()
 	vr, ok := sh.volumes[vol]
 	if !ok {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return nil, nil, protocol.ErrNotFound
 	}
 	if vr.info.Type == protocol.VolumeRoot {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return nil, nil, fmt.Errorf("%w: cannot delete the root volume", protocol.ErrBadRequest)
 	}
 	// Collect and remove all nodes.
@@ -277,7 +265,7 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 			delete(u.sharesOut, shareID)
 		}
 	}
-	sh.mu.Unlock()
+	sh.wunlock(lockedAt)
 	s.volumeDir.Delete(vol)
 
 	for grantee, shareID := range grantees {
@@ -285,13 +273,12 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 		if gsh == sh {
 			continue // already cleaned while holding sh
 		}
-		gsh.writeOp()
-		gsh.mu.Lock()
+		gLockedAt := gsh.wlock()
 		delete(gsh.shares, shareID)
 		if gu := gsh.users[grantee]; gu != nil {
 			delete(gu.sharesIn, shareID)
 		}
-		gsh.mu.Unlock()
+		gsh.wunlock(gLockedAt)
 	}
 
 	// Release content references outside any shard lock.
@@ -318,9 +305,7 @@ func (s *Store) makeNode(user protocol.UserID, vol protocol.VolumeID, parent pro
 		return protocol.NodeInfo{}, err
 	}
 	sh := s.shardOf(owner)
-	sh.writeOp()
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	defer sh.wunlock(sh.wlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
@@ -362,7 +347,7 @@ func (s *Store) makeNode(user protocol.UserID, vol protocol.VolumeID, parent pro
 	sh.nodes[nr.info.ID] = nr
 	vr.nodes[nr.info.ID] = struct{}{}
 	pr.children[name] = nr.info.ID
-	vr.appendLog(sh.deltaLogLimit, nr.info, false)
+	s.appendLog(sh, vr, nr.info, false)
 	return nr.info, nil
 }
 
@@ -391,24 +376,23 @@ func (s *Store) MakeContent(user protocol.UserID, vol protocol.VolumeID, node pr
 		return protocol.NodeInfo{}, nil, false, err
 	}
 	sh := s.shardOf(owner)
-	sh.writeOp()
-	sh.mu.Lock()
+	lockedAt := sh.wlock()
 	vr, ok := sh.volumes[vol]
 	if !ok {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return protocol.NodeInfo{}, nil, false, protocol.ErrNotFound
 	}
 	if err := checkAccessLocked(sh, vr, user, true); err != nil {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return protocol.NodeInfo{}, nil, false, err
 	}
 	nr, ok := sh.nodes[node]
 	if !ok || nr.info.Volume != vol {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return protocol.NodeInfo{}, nil, false, protocol.ErrNotFound
 	}
 	if nr.info.Kind != protocol.KindFile {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return protocol.NodeInfo{}, nil, false, fmt.Errorf("%w: content on a directory", protocol.ErrBadRequest)
 	}
 	oldHash := nr.info.Hash
@@ -416,9 +400,9 @@ func (s *Store) MakeContent(user protocol.UserID, vol protocol.VolumeID, node pr
 	nr.info.Hash = h
 	nr.info.Size = size
 	nr.info.Generation = vr.bumpGen()
-	vr.appendLog(sh.deltaLogLimit, nr.info, false)
+	s.appendLog(sh, vr, nr.info, false)
 	info = nr.info
-	sh.mu.Unlock()
+	sh.wunlock(lockedAt)
 
 	s.contents.addRef(h, size)
 	if !oldHash.IsZero() && oldHash != h {
@@ -438,9 +422,7 @@ func (s *Store) VolumeWatchers(vol protocol.VolumeID) ([]protocol.UserID, error)
 		return nil, err
 	}
 	sh := s.shardOf(owner)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return nil, protocol.ErrNotFound
@@ -462,9 +444,7 @@ func (s *Store) GetNode(user protocol.UserID, vol protocol.VolumeID, node protoc
 		return protocol.NodeInfo{}, err
 	}
 	sh := s.shardOf(owner)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
@@ -483,9 +463,7 @@ func (s *Store) GetNode(user protocol.UserID, vol protocol.VolumeID, node protoc
 // (dal.get_root).
 func (s *Store) GetRoot(user protocol.UserID) (protocol.NodeInfo, error) {
 	sh := s.shardOf(user)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	u, ok := sh.users[user]
 	if !ok {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
@@ -504,24 +482,23 @@ func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protoco
 		return nil, 0, nil, err
 	}
 	sh := s.shardOf(owner)
-	sh.writeOp()
-	sh.mu.Lock()
+	lockedAt := sh.wlock()
 	vr, ok := sh.volumes[vol]
 	if !ok {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return nil, 0, nil, protocol.ErrNotFound
 	}
 	if err := checkAccessLocked(sh, vr, user, true); err != nil {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return nil, 0, nil, err
 	}
 	nr, ok := sh.nodes[node]
 	if !ok || nr.info.Volume != vol {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return nil, 0, nil, protocol.ErrNotFound
 	}
 	if node == vr.root {
-		sh.mu.Unlock()
+		sh.wunlock(lockedAt)
 		return nil, 0, nil, fmt.Errorf("%w: cannot unlink the volume root", protocol.ErrBadRequest)
 	}
 	// Depth-first collection of the subtree.
@@ -544,9 +521,9 @@ func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protoco
 	gen = vr.bumpGen()
 	for i := range removed {
 		removed[i].Generation = gen
-		vr.appendLog(sh.deltaLogLimit, removed[i], true)
+		s.appendLog(sh, vr, removed[i], true)
 	}
-	sh.mu.Unlock()
+	sh.wunlock(lockedAt)
 
 	for _, n := range removed {
 		if n.Kind == protocol.KindFile && !n.Hash.IsZero() {
@@ -568,9 +545,7 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 		return protocol.NodeInfo{}, err
 	}
 	sh := s.shardOf(owner)
-	sh.writeOp()
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	defer sh.wunlock(sh.wlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
@@ -615,7 +590,7 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 	nr.info.Name = newName
 	nr.info.Generation = vr.bumpGen()
 	pr.children[newName] = node
-	vr.appendLog(sh.deltaLogLimit, nr.info, false)
+	s.appendLog(sh, vr, nr.info, false)
 	return nr.info, nil
 }
 
@@ -628,9 +603,7 @@ func (s *Store) GetDelta(user protocol.UserID, vol protocol.VolumeID, fromGen pr
 		return nil, 0, err
 	}
 	sh := s.shardOf(owner)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return nil, 0, protocol.ErrNotFound
@@ -639,11 +612,13 @@ func (s *Store) GetDelta(user protocol.UserID, vol protocol.VolumeID, fromGen pr
 		return nil, 0, err
 	}
 	if fromGen >= vr.info.Generation {
+		s.m.deltaServed.Inc()
 		return nil, vr.info.Generation, nil
 	}
 	// The log can serve the request only if nothing after fromGen was
 	// discarded by the retention policy.
 	if fromGen < vr.droppedThrough {
+		s.m.deltaTruncated.Inc()
 		return nil, vr.info.Generation, ErrDeltaTruncated
 	}
 	var out []protocol.DeltaEntry
@@ -652,6 +627,7 @@ func (s *Store) GetDelta(user protocol.UserID, vol protocol.VolumeID, fromGen pr
 			out = append(out, protocol.DeltaEntry{Node: e.node, Deleted: e.deleted})
 		}
 	}
+	s.m.deltaServed.Inc()
 	return out, vr.info.Generation, nil
 }
 
@@ -663,9 +639,7 @@ func (s *Store) GetFromScratch(user protocol.UserID, vol protocol.VolumeID) ([]p
 		return nil, 0, err
 	}
 	sh := s.shardOf(owner)
-	sh.readOp()
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
+	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
 		return nil, 0, protocol.ErrNotFound
@@ -673,6 +647,9 @@ func (s *Store) GetFromScratch(user protocol.UserID, vol protocol.VolumeID) ([]p
 	if err := checkAccessLocked(sh, vr, user, false); err != nil {
 		return nil, 0, err
 	}
+	// Counted after the access checks: only calls that actually pay the
+	// cascade cost register, mirroring deltaServed/deltaTruncated.
+	s.m.fromScratch.Inc()
 	out := make([]protocol.NodeInfo, 0, len(vr.nodes))
 	for id := range vr.nodes {
 		out = append(out, sh.nodes[id].info)
@@ -704,8 +681,7 @@ func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to pro
 		ReadOnly: readOnly,
 	}
 	osh, gsh := s.shardOf(owner), s.shardOf(to)
-	lockPair(osh, gsh)
-	defer unlockPair(osh, gsh)
+	defer unlockPair(osh, gsh, lockPair(osh, gsh))
 	osh.writeOp()
 	if osh != gsh {
 		gsh.writeOp()
@@ -738,53 +714,61 @@ func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to pro
 // then does the shared volume appear in the grantee's ListVolumes.
 func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol.ShareInfo, error) {
 	gsh := s.shardOf(user)
-	gsh.writeOp()
-	gsh.mu.Lock()
+	gLockedAt := gsh.wlock()
 	share, ok := gsh.shares[id]
 	if !ok || share.SharedTo != user {
-		gsh.mu.Unlock()
+		gsh.wunlock(gLockedAt)
 		return protocol.ShareInfo{}, protocol.ErrNotFound
 	}
 	share.Accepted = true
 	owner := share.SharedBy
 	out := *share
-	gsh.mu.Unlock()
+	gsh.wunlock(gLockedAt)
 
 	// Mirror the accepted flag in the owner's shard copy.
 	osh := s.shardOf(owner)
 	if osh != gsh {
-		osh.writeOp()
-		osh.mu.Lock()
+		oLockedAt := osh.wlock()
 		if ownerCopy, ok := osh.shares[id]; ok {
 			ownerCopy.Accepted = true
 		}
-		osh.mu.Unlock()
+		osh.wunlock(oLockedAt)
 	}
 	return out, nil
 }
 
 // lockPair locks two shards in id order, avoiding deadlock between
-// concurrent cross-shard operations. Locking the same shard twice is a
-// single lock.
-func lockPair(a, b *shard) {
+// concurrent cross-shard operations; locking the same shard twice is a
+// single lock. unlockPair releases both and charges the hold time to each
+// shard's master, since both masters were pinned for the whole cross-shard
+// transaction.
+func lockPair(a, b *shard) time.Time {
 	if a == b {
 		a.mu.Lock()
-		return
+		return time.Now()
 	}
 	if a.id > b.id {
 		a, b = b, a
 	}
 	a.mu.Lock()
 	b.mu.Lock()
+	return time.Now()
 }
 
-func unlockPair(a, b *shard) {
+func unlockPair(a, b *shard, start time.Time) {
+	hold := time.Since(start)
 	if a == b {
 		a.mu.Unlock()
+		a.m.writeHold.Observe(hold.Seconds())
 		return
 	}
-	a.mu.Unlock()
+	if a.id > b.id {
+		a, b = b, a
+	}
 	b.mu.Unlock()
+	a.mu.Unlock()
+	a.m.writeHold.Observe(hold.Seconds())
+	b.m.writeHold.Observe(hold.Seconds())
 }
 
 // LookupContent reports whether content with hash h is already stored and

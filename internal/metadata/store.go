@@ -20,9 +20,12 @@ package metadata
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"u1/internal/metrics"
 	"u1/internal/protocol"
 )
 
@@ -34,6 +37,10 @@ type Config struct {
 	// the horizon returns ErrDeltaTruncated and the caller falls back to
 	// GetFromScratch. 0 means DefaultDeltaLogLimit.
 	DeltaLogLimit int
+	// Metrics receives per-shard load counters, lock hold times, and the
+	// delta/cascade counters. nil disables registration (the handles still
+	// work, they are just not exported anywhere).
+	Metrics *metrics.Registry
 }
 
 // DefaultDeltaLogLimit is the per-volume delta log bound used when the
@@ -44,10 +51,22 @@ const DefaultDeltaLogLimit = 512
 // delta log horizon; the client must rescan the volume from scratch.
 var ErrDeltaTruncated = fmt.Errorf("%w: delta log truncated", protocol.ErrConflict)
 
+// storeMetrics holds the store-level instrumentation: how often delta reads
+// are answered from the log, how often clients fall off the horizon
+// (ErrDeltaTruncated), how many expensive get_from_scratch cascades follow,
+// and how often the per-volume logs trim their history.
+type storeMetrics struct {
+	deltaServed    *metrics.Counter
+	deltaTruncated *metrics.Counter
+	fromScratch    *metrics.Counter
+	logTrimmed     *metrics.Counter
+}
+
 // Store is the sharded metadata store.
 type Store struct {
 	shards   []*shard
 	contents *contentRegistry
+	m        storeMetrics
 
 	// volumeDir maps every live volume to its owner, the directory the
 	// request router consults to find the shard that holds a volume that is
@@ -72,9 +91,15 @@ func New(cfg Config) *Store {
 	s := &Store{
 		shards:   make([]*shard, cfg.Shards),
 		contents: newContentRegistry(),
+		m: storeMetrics{
+			deltaServed:    cfg.Metrics.Counter("meta.delta.served"),
+			deltaTruncated: cfg.Metrics.Counter("meta.delta.truncated"),
+			fromScratch:    cfg.Metrics.Counter("meta.get_from_scratch"),
+			logTrimmed:     cfg.Metrics.Counter("meta.deltalog.trimmed"),
+		},
 	}
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg.DeltaLogLimit)
+		s.shards[i] = newShard(i, cfg.DeltaLogLimit, cfg.Metrics)
 	}
 	return s
 }
@@ -105,8 +130,8 @@ func (s *Store) ShardLoads() (reads, writes []uint64) {
 	reads = make([]uint64, len(s.shards))
 	writes = make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
-		reads[i] = atomic.LoadUint64(&sh.reads)
-		writes[i] = atomic.LoadUint64(&sh.writes)
+		reads[i] = sh.m.reads.Value()
+		writes[i] = sh.m.writes.Value()
 	}
 	return reads, writes
 }
@@ -130,12 +155,23 @@ func (s *Store) allocUpload() protocol.UploadID {
 	return protocol.UploadID(atomic.AddUint64(&s.nextUpload, 1))
 }
 
+// shardMetrics holds one shard's registered handles: counters mirroring the
+// reads/writes atomics, and the master/slave lock hold-time histograms —
+// the live view of the per-shard load the paper derives offline in Fig. 14.
+type shardMetrics struct {
+	reads     *metrics.Counter
+	writes    *metrics.Counter
+	readHold  *metrics.Histogram
+	writeHold *metrics.Histogram
+}
+
 // shard is one master/slave pair of the cluster. The RWMutex models the
 // paper's access pattern: reads run lockless and in parallel on the slave,
 // writes serialize on the master. reads/writes counters feed load accounting.
 type shard struct {
 	id            int
 	deltaLogLimit int
+	m             shardMetrics
 
 	mu         sync.RWMutex
 	users      map[protocol.UserID]*userRow
@@ -143,20 +179,24 @@ type shard struct {
 	nodes      map[protocol.NodeID]*nodeRow
 	shares     map[protocol.ShareID]*protocol.ShareInfo
 	uploadjobs map[protocol.UploadID]*UploadJob
-
-	reads  uint64 // atomic
-	writes uint64 // atomic
 }
 
-func newShard(id, deltaLogLimit int) *shard {
+func newShard(id, deltaLogLimit int, reg *metrics.Registry) *shard {
+	prefix := metrics.ShardPrefix + strconv.Itoa(id)
 	return &shard{
 		id:            id,
 		deltaLogLimit: deltaLogLimit,
-		users:         make(map[protocol.UserID]*userRow),
-		volumes:       make(map[protocol.VolumeID]*volumeRow),
-		nodes:         make(map[protocol.NodeID]*nodeRow),
-		shares:        make(map[protocol.ShareID]*protocol.ShareInfo),
-		uploadjobs:    make(map[protocol.UploadID]*UploadJob),
+		m: shardMetrics{
+			reads:     reg.Counter(prefix + ".reads"),
+			writes:    reg.Counter(prefix + ".writes"),
+			readHold:  reg.Histogram(prefix + ".read_hold.seconds"),
+			writeHold: reg.Histogram(prefix + ".write_hold.seconds"),
+		},
+		users:      make(map[protocol.UserID]*userRow),
+		volumes:    make(map[protocol.VolumeID]*volumeRow),
+		nodes:      make(map[protocol.NodeID]*nodeRow),
+		shares:     make(map[protocol.ShareID]*protocol.ShareInfo),
+		uploadjobs: make(map[protocol.UploadID]*UploadJob),
 	}
 }
 
@@ -201,19 +241,59 @@ func (v *volumeRow) bumpGen() protocol.Generation {
 	return v.info.Generation
 }
 
-func (v *volumeRow) appendLog(limit int, n protocol.NodeInfo, deleted bool) {
+// appendLog records a mutation in v's delta log, trimming the oldest half
+// when the log exceeds the shard's retention limit. It runs under the
+// shard's write lock.
+func (s *Store) appendLog(sh *shard, v *volumeRow, n protocol.NodeInfo, deleted bool) {
 	v.log = append(v.log, logEntry{gen: v.info.Generation, node: n, deleted: deleted})
-	if len(v.log) > limit {
+	if len(v.log) > sh.deltaLogLimit {
 		// Drop the oldest half rather than one entry at a time; amortizes
 		// the copy and keeps a meaningful horizon. Entries sharing the
 		// boundary generation may survive the cut, but droppedThrough makes
 		// any delta spanning that generation fall back to a full rescan, so
 		// clients never observe a partial cascade.
-		drop := limit / 2
+		drop := sh.deltaLogLimit / 2
 		v.droppedThrough = v.log[drop-1].gen
 		v.log = append(v.log[:0:0], v.log[drop:]...)
+		s.m.logTrimmed.Inc()
 	}
 }
 
-func (s *shard) readOp()  { atomic.AddUint64(&s.reads, 1) }
-func (s *shard) writeOp() { atomic.AddUint64(&s.writes, 1) }
+func (s *shard) readOp()  { s.m.reads.Inc() }
+func (s *shard) writeOp() { s.m.writes.Inc() }
+
+// rlock counts a read op, takes the shard's read lock (the slave replica of
+// the pair) and returns the acquisition time; runlock releases the lock and
+// records the hold. The pair instruments every read without allocating:
+//
+//	defer sh.runlock(sh.rlock())   // defer evaluates rlock() immediately
+//
+// or, with early-release paths:
+//
+//	start := sh.rlock()
+//	...
+//	sh.runlock(start)
+func (sh *shard) rlock() time.Time {
+	sh.readOp()
+	sh.mu.RLock()
+	return time.Now()
+}
+
+func (sh *shard) runlock(start time.Time) {
+	hold := time.Since(start)
+	sh.mu.RUnlock()
+	sh.m.readHold.Observe(hold.Seconds())
+}
+
+// wlock/wunlock are the master-side counterparts for mutations.
+func (sh *shard) wlock() time.Time {
+	sh.writeOp()
+	sh.mu.Lock()
+	return time.Now()
+}
+
+func (sh *shard) wunlock(start time.Time) {
+	hold := time.Since(start)
+	sh.mu.Unlock()
+	sh.m.writeHold.Observe(hold.Seconds())
+}

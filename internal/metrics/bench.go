@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The registry naming scheme the instrumented tiers follow. The bench-report
+// builder keys off these prefixes, so they are part of the metrics API.
+const (
+	// APIOpPrefix + <OpName> + {".seconds"|".count"|".errors"} — per API
+	// operation latency histogram and outcome counters (apiserver).
+	APIOpPrefix = "api.op."
+	// RPCPrefix + <dal.name> + ".seconds" — per-RPC service-time histograms;
+	// RPCClassPrefix + <class> + ".seconds" aggregates them by paper class.
+	RPCPrefix      = "rpc."
+	RPCClassPrefix = "rpc.class."
+	// ShardPrefix + <i> + {".reads"|".writes"} — per-shard op counters;
+	// + {".read_hold.seconds"|".write_hold.seconds"} — lock hold times.
+	ShardPrefix = "meta.shard."
+)
+
+// OpStats is one operation class in a benchmark report.
+type OpStats struct {
+	Count     uint64  `json:"count"`
+	Errors    uint64  `json:"errors,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MeanMs    float64 `json:"mean_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// ShardBalance summarizes load spread across metadata shards — the Fig. 14
+// balance analysis over live counters instead of the offline trace.
+type ShardBalance struct {
+	Reads  []uint64 `json:"reads"`
+	Writes []uint64 `json:"writes"`
+	// CV is the coefficient of variation of total per-shard ops; the paper
+	// measured 4.9% long-term imbalance across U1's 10 shards.
+	CV float64 `json:"cv"`
+}
+
+// BenchReport is the machine-readable benchmark result (BENCH_*.json): the
+// perf trajectory record CI archives on every run.
+type BenchReport struct {
+	Schema      string  `json:"schema"`
+	Users       int     `json:"users"`
+	Days        int     `json:"days"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// OpsPerSec is harness throughput: total API operations driven through
+	// the back-end per wall-clock second of generation.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	TotalOps  uint64  `json:"total_ops"`
+	// Ops holds per-API-operation latency/throughput; latencies are the
+	// simulated service times of the calibrated model, so they track the
+	// paper's Figs. 12–13 rather than host speed.
+	Ops map[string]OpStats `json:"ops"`
+	// RPCClasses aggregates DAL service times by paper class
+	// (read/write/cascade).
+	RPCClasses map[string]OpStats `json:"rpc_classes"`
+	Shards     ShardBalance       `json:"shards"`
+	// Counters carries the full counter snapshot for trend diffing.
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// BenchSchema identifies the report format.
+const BenchSchema = "u1-bench/1"
+
+// BuildBenchReport derives a report from a registry snapshot. wallSeconds is
+// the wall-clock duration of the measured run; users/days describe the
+// workload scale.
+func BuildBenchReport(snap Snapshot, wallSeconds float64, users, days int) BenchReport {
+	rep := BenchReport{
+		Schema:      BenchSchema,
+		Users:       users,
+		Days:        days,
+		WallSeconds: wallSeconds,
+		Ops:         make(map[string]OpStats),
+		RPCClasses:  make(map[string]OpStats),
+		Counters:    snap.Counters,
+	}
+
+	opStats := func(hist HistogramSnapshot, count, errs uint64) OpStats {
+		st := OpStats{
+			Count:  count,
+			Errors: errs,
+			MeanMs: hist.Mean * 1e3,
+			P50Ms:  hist.P50 * 1e3,
+			P95Ms:  hist.P95 * 1e3,
+			P99Ms:  hist.P99 * 1e3,
+		}
+		if wallSeconds > 0 {
+			st.OpsPerSec = float64(count) / wallSeconds
+		}
+		return st
+	}
+
+	for name, hist := range snap.Histograms {
+		switch {
+		case strings.HasPrefix(name, APIOpPrefix) && strings.HasSuffix(name, ".seconds"):
+			op := strings.TrimSuffix(strings.TrimPrefix(name, APIOpPrefix), ".seconds")
+			count := snap.Counters[APIOpPrefix+op+".count"]
+			if count == 0 {
+				count = hist.Count
+			}
+			rep.Ops[op] = opStats(hist, count, snap.Counters[APIOpPrefix+op+".errors"])
+			rep.TotalOps += count
+		case strings.HasPrefix(name, RPCClassPrefix) && strings.HasSuffix(name, ".seconds"):
+			class := strings.TrimSuffix(strings.TrimPrefix(name, RPCClassPrefix), ".seconds")
+			rep.RPCClasses[class] = opStats(hist, hist.Count, 0)
+		}
+	}
+	if wallSeconds > 0 {
+		rep.OpsPerSec = float64(rep.TotalOps) / wallSeconds
+	}
+
+	rep.Shards = shardBalance(snap.Counters)
+	return rep
+}
+
+// shardBalance folds meta.shard.<i>.reads/.writes counters into the balance
+// summary.
+func shardBalance(counters map[string]uint64) ShardBalance {
+	type rw struct{ reads, writes uint64 }
+	byIdx := make(map[int]rw)
+	maxIdx := -1
+	for name, v := range counters {
+		if !strings.HasPrefix(name, ShardPrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(name, ShardPrefix)
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(rest[:dot])
+		if err != nil {
+			continue
+		}
+		e := byIdx[idx]
+		switch rest[dot+1:] {
+		case "reads":
+			e.reads = v
+		case "writes":
+			e.writes = v
+		default:
+			continue
+		}
+		byIdx[idx] = e
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	var b ShardBalance
+	if maxIdx < 0 {
+		return b
+	}
+	b.Reads = make([]uint64, maxIdx+1)
+	b.Writes = make([]uint64, maxIdx+1)
+	totals := make([]float64, maxIdx+1)
+	for idx, e := range byIdx {
+		b.Reads[idx] = e.reads
+		b.Writes[idx] = e.writes
+		totals[idx] = float64(e.reads + e.writes)
+	}
+	b.CV = coefficientOfVariation(totals)
+	return b
+}
+
+func coefficientOfVariation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// WriteBenchReport writes the report to path as indented JSON.
+func WriteBenchReport(path string, rep BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: encoding bench report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("metrics: writing bench report: %w", err)
+	}
+	return nil
+}
+
+// SortedOpNames returns the report's op names in stable order, for printing.
+func (r BenchReport) SortedOpNames() []string {
+	names := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -11,6 +11,7 @@ package notify
 import (
 	"sync"
 
+	"u1/internal/metrics"
 	"u1/internal/protocol"
 )
 
@@ -40,9 +41,20 @@ type Counters struct {
 	Dropped   uint64
 }
 
+// brokerMetrics holds the broker's registered handles: bus traffic counters
+// and the per-publish fan-out width histogram.
+type brokerMetrics struct {
+	published *metrics.Counter
+	delivered *metrics.Counter
+	dropped   *metrics.Counter
+	fanout    *metrics.Histogram
+}
+
 // Broker is the fan-out exchange. One instance serves the whole back-end
 // (the U1 deployment ran a single RabbitMQ server).
 type Broker struct {
+	m brokerMetrics
+
 	mu       sync.RWMutex
 	queues   map[string]chan Event
 	counters Counters
@@ -50,7 +62,22 @@ type Broker struct {
 
 // NewBroker creates an empty broker.
 func NewBroker() *Broker {
-	return &Broker{queues: make(map[string]chan Event)}
+	b := &Broker{queues: make(map[string]chan Event)}
+	b.Instrument(nil)
+	return b
+}
+
+// Instrument registers the broker's counters on reg. Call before traffic
+// starts; a nil registry leaves the broker unobserved but functional.
+func (b *Broker) Instrument(reg *metrics.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = brokerMetrics{
+		published: reg.Counter("notify.published"),
+		delivered: reg.Counter("notify.delivered"),
+		dropped:   reg.Counter("notify.dropped"),
+		fanout:    reg.Histogram("notify.fanout"),
+	}
 }
 
 // Register creates (or replaces) the queue of an API server and returns its
@@ -87,6 +114,8 @@ func (b *Broker) Publish(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.counters.Published++
+	b.m.published.Inc()
+	var delivered uint64
 	for name, q := range b.queues {
 		if name == e.Origin {
 			continue
@@ -94,10 +123,14 @@ func (b *Broker) Publish(e Event) {
 		select {
 		case q <- e:
 			b.counters.Delivered++
+			delivered++
 		default:
 			b.counters.Dropped++
+			b.m.dropped.Inc()
 		}
 	}
+	b.m.delivered.Add(delivered)
+	b.m.fanout.Observe(float64(delivered))
 }
 
 // Stats returns a snapshot of the counters.

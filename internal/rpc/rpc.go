@@ -19,6 +19,7 @@ import (
 
 	"u1/internal/dist"
 	"u1/internal/metadata"
+	"u1/internal/metrics"
 	"u1/internal/protocol"
 )
 
@@ -100,6 +101,9 @@ type Config struct {
 	// RealSleep makes calls actually take their sampled service time. The
 	// TCP server enables it; the simulator keeps time virtual.
 	RealSleep bool
+	// Metrics receives per-RPC and per-class service-time histograms plus
+	// error counts (nil disables registration).
+	Metrics *metrics.Registry
 }
 
 // Server is the RPC tier facade over the metadata store.
@@ -113,6 +117,12 @@ type Server struct {
 	observers []Observer
 	nextProc  uint64
 	procOps   []uint64 // per-process op counters (atomic)
+
+	// Instrumentation handles indexed by protocol.RPC / protocol.RPCClass,
+	// resolved once so the hot call path records through plain pointers.
+	rpcSeconds   []*metrics.Histogram
+	classSeconds []*metrics.Histogram
+	rpcErrors    *metrics.Counter
 }
 
 // NewServer creates the tier. Observers must be registered before traffic
@@ -129,12 +139,24 @@ func NewServer(store *metadata.Store, cfg Config) *Server {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Server{
-		store:   store,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(seed)),
-		procOps: make([]uint64, cfg.Procs),
+	s := &Server{
+		store:     store,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		procOps:   make([]uint64, cfg.Procs),
+		rpcErrors: cfg.Metrics.Counter("rpc.errors"),
 	}
+	rpcs := protocol.RPCs()
+	s.rpcSeconds = make([]*metrics.Histogram, len(rpcs))
+	for _, op := range rpcs {
+		s.rpcSeconds[op] = cfg.Metrics.Histogram(metrics.RPCPrefix + op.String() + ".seconds")
+	}
+	classes := []protocol.RPCClass{protocol.ClassRead, protocol.ClassWrite, protocol.ClassCascade}
+	s.classSeconds = make([]*metrics.Histogram, len(classes))
+	for _, c := range classes {
+		s.classSeconds[c] = cfg.Metrics.Histogram(metrics.RPCClassPrefix + c.String() + ".seconds")
+	}
+	return s
 }
 
 // Store exposes the underlying metadata store (for provisioning paths that
@@ -172,6 +194,15 @@ func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, err 
 		Start:   now,
 		Service: service,
 		Err:     err,
+	}
+	if int(op) < len(s.rpcSeconds) {
+		s.rpcSeconds[op].Observe(service.Seconds())
+	}
+	if int(span.Class) < len(s.classSeconds) {
+		s.classSeconds[span.Class].Observe(service.Seconds())
+	}
+	if err != nil {
+		s.rpcErrors.Inc()
 	}
 	for _, o := range s.observers {
 		o(span)

@@ -16,6 +16,7 @@ import (
 	"u1/internal/blob"
 	"u1/internal/gateway"
 	"u1/internal/metadata"
+	"u1/internal/metrics"
 	"u1/internal/notify"
 	"u1/internal/rpc"
 )
@@ -50,6 +51,10 @@ type Config struct {
 	RealSleep bool
 	// Seed drives all stochastic models.
 	Seed int64
+	// Metrics is the cluster-wide observability registry. nil creates a
+	// fresh one; every tier of the Fig. 1 deployment records into it and it
+	// is exposed as Cluster.Metrics.
+	Metrics *metrics.Registry
 }
 
 // Cluster is a fully wired U1 back-end.
@@ -60,6 +65,10 @@ type Cluster struct {
 	Broker  *notify.Broker
 	RPC     *rpc.Server
 	Servers []*apiserver.Server
+	// Metrics aggregates the whole deployment's observability; snapshot it
+	// (or feed it to metrics.BuildBenchReport) to see per-op latency, shard
+	// balance and traffic mix live.
+	Metrics *metrics.Registry
 
 	byName map[string]*apiserver.Server
 }
@@ -80,23 +89,31 @@ func NewCluster(cfg Config) *Cluster {
 		seed = 1
 	}
 
-	store := metadata.New(metadata.Config{Shards: cfg.Shards, DeltaLogLimit: cfg.DeltaLogLimit})
-	blobStore := blob.New(blob.Config{KeepData: cfg.InlineData})
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+
+	store := metadata.New(metadata.Config{Shards: cfg.Shards, DeltaLogLimit: cfg.DeltaLogLimit, Metrics: reg})
+	blobStore := blob.New(blob.Config{KeepData: cfg.InlineData, Metrics: reg})
 	authSvc := auth.New(auth.Config{FailureRate: cfg.AuthFailureRate, Seed: seed})
 	broker := notify.NewBroker()
+	broker.Instrument(reg)
 	rpcTier := rpc.NewServer(store, rpc.Config{
 		Procs:     cfg.RPCProcs,
 		Seed:      seed,
 		RealSleep: cfg.RealSleep,
+		Metrics:   reg,
 	})
 
 	c := &Cluster{
-		Store:  store,
-		Blob:   blobStore,
-		Auth:   authSvc,
-		Broker: broker,
-		RPC:    rpcTier,
-		byName: make(map[string]*apiserver.Server),
+		Store:   store,
+		Blob:    blobStore,
+		Auth:    authSvc,
+		Broker:  broker,
+		RPC:     rpcTier,
+		Metrics: reg,
+		byName:  make(map[string]*apiserver.Server),
 	}
 	deps := apiserver.Deps{
 		RPC:      rpcTier,
@@ -104,6 +121,7 @@ func NewCluster(cfg Config) *Cluster {
 		Blob:     blobStore,
 		Broker:   broker,
 		Transfer: blob.DefaultTransferModel(),
+		Metrics:  reg,
 	}
 	for _, name := range cfg.Machines {
 		srv := apiserver.New(apiserver.Config{
@@ -204,6 +222,7 @@ func (c *Cluster) ListenAndServe(gatewayAddr string) (*TCPCluster, error) {
 	tc.listeners = append(tc.listeners, gln)
 	tc.GateAddr = gln.Addr()
 	tc.Proxy = gateway.NewProxy(backends)
+	tc.Proxy.Balancer().Instrument(c.Metrics)
 	go tc.Proxy.Serve(gln) //nolint:errcheck
 	return tc, nil
 }
