@@ -19,9 +19,13 @@ import (
 	"u1/internal/analysis"
 	"u1/internal/blob"
 	"u1/internal/client"
+	"u1/internal/gateway"
+	"u1/internal/hotpath"
 	"u1/internal/metadata"
 	"u1/internal/metrics"
+	"u1/internal/notify"
 	"u1/internal/protocol"
+	"u1/internal/rpc"
 	"u1/internal/server"
 	"u1/internal/sim"
 	"u1/internal/trace"
@@ -369,12 +373,13 @@ func BenchmarkTraceGeneration(b *testing.B) {
 
 // BenchmarkObservability snapshots the live metrics registry of the shared
 // bench cluster, derives the machine-readable benchmark report (ops/sec,
-// per-op p50/p95/p99 latency, shard balance) and writes it to BENCH_1.json
-// (override with U1_BENCH_OUT, empty disables) — the artifact the CI
-// bench-smoke job archives as the repo's perf trajectory.
+// per-op p50/p95/p99 latency, shard balance, contended hot-path throughput)
+// and writes it to BENCH_2.json (override with U1_BENCH_OUT, empty disables)
+// — the artifact the CI bench-smoke job archives as the repo's perf
+// trajectory.
 func BenchmarkObservability(b *testing.B) {
 	benchTrace(b)
-	out := "BENCH_1.json"
+	out := "BENCH_2.json"
 	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
 		out = v
 	}
@@ -382,6 +387,11 @@ func BenchmarkObservability(b *testing.B) {
 	var rep metrics.BenchReport
 	for i := 0; i < b.N; i++ {
 		rep = metrics.BuildBenchReport(benchCluster.Metrics.Snapshot(), benchGenWall.Seconds(), benchUsers, benchDays)
+	}
+	b.StopTimer()
+	rep.HotPaths = hotpath.Measure(0)
+	for name, st := range rep.HotPaths {
+		b.ReportMetric(st.ParallelOpsPerSec, name+"_par_ops/s")
 	}
 	if rep.TotalOps == 0 {
 		b.Fatal("metrics registry recorded no operations")
@@ -396,6 +406,12 @@ func BenchmarkObservability(b *testing.B) {
 		}
 		if st.P50Ms <= 0 || st.P99Ms < st.P50Ms {
 			b.Fatalf("op %s has degenerate quantiles: %+v", op, st)
+		}
+	}
+	for _, path := range []string{hotpath.RPCCall, hotpath.NotifyPublish, hotpath.GatewayPlace} {
+		st, ok := rep.HotPaths[path]
+		if !ok || st.ParallelOpsPerSec <= 0 {
+			b.Fatalf("hot path %s missing from report: %+v", path, st)
 		}
 	}
 	b.ReportMetric(rep.OpsPerSec, "ops/s")
@@ -484,6 +500,78 @@ func BenchmarkBlobMultipart(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Hot-path contention benchmarks ---
+//
+// The per-request path crosses three shared structures: the RPC tier's
+// latency sampler, the notification broker, and the gateway balancer. Each
+// gets a serial baseline and a b.RunParallel variant; after the
+// de-serialization refactor the parallel ops/sec at GOMAXPROCS ≥ 4 must
+// exceed the serial rate (scaling), where a globally locked path would sit
+// at or below it (serialization). BENCH_2.json records the same comparison
+// via internal/hotpath.
+
+var hotBenchStart = time.Unix(1390000000, 0)
+
+func newHotBenchRPC(b *testing.B) *rpc.Server {
+	b.Helper()
+	store := metadata.New(metadata.Config{Shards: 10})
+	if _, err := store.CreateUser(1); err != nil {
+		b.Fatal(err)
+	}
+	return rpc.NewServer(store, rpc.Config{Seed: 11})
+}
+
+func BenchmarkHotPathSerialRPCCall(b *testing.B) {
+	s := newHotBenchRPC(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObserveAuth(1, hotBenchStart, nil)
+	}
+}
+
+func BenchmarkHotPathParallelRPCCall(b *testing.B) {
+	s := newHotBenchRPC(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.ObserveAuth(1, hotBenchStart, nil)
+		}
+	})
+}
+
+func BenchmarkHotPathParallelNotifyPublish(b *testing.B) {
+	broker := notify.NewBroker()
+	for _, name := range server.DefaultMachines {
+		broker.Register(name, 1)
+	}
+	e := notify.Event{Kind: protocol.PushVolumeChanged, User: 1, Origin: server.DefaultMachines[0]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			broker.Publish(e)
+		}
+	})
+}
+
+func BenchmarkHotPathParallelBalancer(b *testing.B) {
+	bal := gateway.NewBalancer(server.DefaultMachines...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			name, err := bal.Acquire()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			bal.Release(name)
+		}
+	})
 }
 
 // BenchmarkEndToEndUpload measures a full client upload through the

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	u1bench [-users 2000] [-days 30] [-seed 1] [-bench-out BENCH_1.json]
+//	u1bench [-users 2000] [-days 30] [-seed 1] [-bench-out BENCH_2.json]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"u1/internal/analysis"
+	"u1/internal/hotpath"
 	"u1/internal/metrics"
 	"u1/internal/server"
 	"u1/internal/sim"
@@ -27,7 +28,7 @@ func main() {
 	users := flag.Int("users", 2000, "population size (paper: 1.29M)")
 	days := flag.Int("days", 30, "trace window in days (paper: 30)")
 	seed := flag.Int64("seed", 1, "random seed")
-	benchOut := flag.String("bench-out", "BENCH_1.json", "benchmark report path (empty to skip)")
+	benchOut := flag.String("bench-out", "BENCH_2.json", "benchmark report path (empty to skip)")
 	flag.Parse()
 
 	start := time.Now()
@@ -180,6 +181,18 @@ func main() {
 			name, st.Count, st.Errors, st.P50Ms, st.P95Ms, st.P99Ms)
 	}
 	fmt.Printf("shard balance: reads %v writes %v (CV %.3f)\n", rep.Shards.Reads, rep.Shards.Writes, rep.Shards.CV)
+
+	// Contended hot-path calibration: serial vs parallel ops/sec on the
+	// three per-request structures. Speedup > 1 at multiple cores is the
+	// de-serialization win this report exists to track.
+	rep.HotPaths = hotpath.Measure(0)
+	fmt.Printf("\n== hot paths (parallel workers: %d) ==\n", rep.HotPaths[hotpath.RPCCall].Workers)
+	fmt.Printf("%-26s %14s %14s %8s\n", "path", "serial_ops/s", "parallel_ops/s", "speedup")
+	for _, path := range []string{hotpath.RPCCall, hotpath.NotifyPublish, hotpath.GatewayPlace} {
+		st := rep.HotPaths[path]
+		fmt.Printf("%-26s %14.0f %14.0f %7.2fx\n", path, st.SerialOpsPerSec, st.ParallelOpsPerSec, st.Speedup)
+	}
+
 	if *benchOut != "" {
 		if err := metrics.WriteBenchReport(*benchOut, rep); err != nil {
 			fmt.Fprintln(os.Stderr, err)

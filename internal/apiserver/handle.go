@@ -184,7 +184,10 @@ func (s *Server) handleGetDelta(sess *Session, req *protocol.Request, now time.T
 func (s *Server) handlePutContent(sess *Session, req *protocol.Request, now time.Time, ev Event) (*protocol.Response, time.Duration, Event) {
 	ev.Hash, ev.Size, ev.Ext = req.Hash, req.Size, extOf(req.Name)
 
-	_, exists, dur, _ := s.deps.RPC.GetReusableContent(sess.User, req.Hash, now)
+	_, exists, dur, err := s.deps.RPC.GetReusableContent(sess.User, req.Hash, now)
+	if err != nil {
+		return fail(req.ID, err), dur, ev
+	}
 	if exists {
 		node, _, wasUpdate, d, err := s.deps.RPC.MakeContent(sess.User, req.Volume, req.Node, req.Hash, req.Size, now)
 		dur += d

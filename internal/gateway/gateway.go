@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -31,23 +30,79 @@ type balancerMetrics struct {
 	perBackend   map[string]*metrics.Counter
 }
 
+// backendSlot is one backend's entry in the balancer's min-heap. pos tracks
+// the slot's index in the heap array so Release and RemoveBackend can sift
+// from the middle without searching.
+type backendSlot struct {
+	name string
+	load int
+	pos  int
+}
+
 // Balancer assigns sessions to the least-loaded backend and tracks active
-// session counts. It is safe for concurrent use.
+// session counts. It is safe for concurrent use. Placement reads the root of
+// an indexed min-heap ordered by (load, name) — maintained incrementally by
+// Acquire/Release/AddBackend/RemoveBackend — so each decision is O(log n)
+// with zero allocation instead of the former per-call allocate-and-sort.
 type Balancer struct {
 	mu     sync.Mutex
-	active map[string]int
+	heap   []*backendSlot
+	byName map[string]*backendSlot
 	total  map[string]uint64
 	m      balancerMetrics
 }
 
 // NewBalancer creates a balancer over the given backend names.
 func NewBalancer(backends ...string) *Balancer {
-	b := &Balancer{active: make(map[string]int), total: make(map[string]uint64)}
+	b := &Balancer{byName: make(map[string]*backendSlot), total: make(map[string]uint64)}
 	b.Instrument(nil)
 	for _, name := range backends {
-		b.active[name] = 0
+		b.AddBackend(name)
 	}
 	return b
+}
+
+// less orders the heap by (load, name): the root is always the least-loaded
+// backend, with ties broken deterministically by name so tests are stable.
+func (b *Balancer) less(i, j int) bool {
+	si, sj := b.heap[i], b.heap[j]
+	return si.load < sj.load || (si.load == sj.load && si.name < sj.name)
+}
+
+func (b *Balancer) swap(i, j int) {
+	b.heap[i], b.heap[j] = b.heap[j], b.heap[i]
+	b.heap[i].pos = i
+	b.heap[j].pos = j
+}
+
+func (b *Balancer) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !b.less(i, parent) {
+			break
+		}
+		b.swap(i, parent)
+		i = parent
+	}
+}
+
+func (b *Balancer) siftDown(i int) {
+	n := len(b.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && b.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && b.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		b.swap(i, smallest)
+		i = smallest
+	}
 }
 
 // Instrument registers the balancer's placement metrics on reg. Call before
@@ -79,16 +134,38 @@ func (b *Balancer) backendCounter(name string) *metrics.Counter {
 func (b *Balancer) AddBackend(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, ok := b.active[name]; !ok {
-		b.active[name] = 0
+	if _, ok := b.byName[name]; ok {
+		return
 	}
+	s := &backendSlot{name: name, pos: len(b.heap)}
+	b.byName[name] = s
+	b.heap = append(b.heap, s)
+	b.siftUp(s.pos)
 }
 
 // RemoveBackend deregisters a backend; its sessions are assumed terminated.
 func (b *Balancer) RemoveBackend(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.active, name)
+	s, ok := b.byName[name]
+	if !ok {
+		return
+	}
+	delete(b.byName, name)
+	// Capture the hole's index before swapping: swap() rewrites s.pos to
+	// last, so sifting at s.pos afterwards would skip the swapped-in slot
+	// and break the heap invariant.
+	i := s.pos
+	last := len(b.heap) - 1
+	if i != last {
+		b.swap(i, last)
+	}
+	b.heap[last] = nil
+	b.heap = b.heap[:last]
+	if i < last {
+		b.siftDown(i)
+		b.siftUp(i)
+	}
 }
 
 // Acquire picks the least-loaded backend, increments its session count and
@@ -98,35 +175,27 @@ func (b *Balancer) Acquire() (string, error) {
 	start := time.Now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.active) == 0 {
+	if len(b.heap) == 0 {
 		return "", ErrNoBackends
 	}
-	names := make([]string, 0, len(b.active))
-	for name := range b.active {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	best := names[0]
-	for _, name := range names[1:] {
-		if b.active[name] < b.active[best] {
-			best = name
-		}
-	}
-	b.active[best]++
-	b.total[best]++
+	s := b.heap[0]
+	s.load++
+	b.siftDown(0)
+	b.total[s.name]++
 	b.m.placed.Inc()
 	b.m.activeConns.Inc()
-	b.backendCounter(best).Inc()
+	b.backendCounter(s.name).Inc()
 	b.m.placeSeconds.Observe(time.Since(start).Seconds())
-	return best, nil
+	return s.name, nil
 }
 
 // Release ends a session on the backend.
 func (b *Balancer) Release(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if n, ok := b.active[name]; ok && n > 0 {
-		b.active[name] = n - 1
+	if s, ok := b.byName[name]; ok && s.load > 0 {
+		s.load--
+		b.siftUp(s.pos)
 		b.m.activeConns.Dec()
 	}
 }
@@ -135,9 +204,9 @@ func (b *Balancer) Release(name string) {
 func (b *Balancer) Active() map[string]int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make(map[string]int, len(b.active))
-	for k, v := range b.active {
-		out[k] = v
+	out := make(map[string]int, len(b.byName))
+	for name, s := range b.byName {
+		out[name] = s.load
 	}
 	return out
 }

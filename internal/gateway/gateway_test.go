@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"testing"
@@ -160,5 +161,193 @@ func TestProxyEndToEnd(t *testing.T) {
 	// reachable in principle. Just assert traffic flowed.
 	if len(seen) == 0 {
 		t.Error("no backend reached")
+	}
+}
+
+func TestBalancerHeapDeterministicTies(t *testing.T) {
+	// The heap must reproduce the old sort-based rule exactly: least loaded
+	// wins, ties go to the lexicographically smallest name.
+	b := NewBalancer("delta", "alpha", "charlie", "bravo")
+	want := []string{"alpha", "bravo", "charlie", "delta", "alpha", "bravo"}
+	for i, w := range want {
+		name, err := b.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != w {
+			t.Errorf("placement %d = %s, want %s", i, name, w)
+		}
+	}
+	// Releasing from the middle of the heap must restore its priority.
+	b.Release("charlie")
+	b.Release("charlie")
+	if name, _ := b.Acquire(); name != "charlie" {
+		t.Errorf("after releases, placement = %s, want charlie", name)
+	}
+}
+
+func TestBalancerRemoveReAdd(t *testing.T) {
+	b := NewBalancer("a", "b", "c")
+	for i := 0; i < 3; i++ {
+		b.Acquire()
+	}
+	b.RemoveBackend("a")
+	for i := 0; i < 2; i++ {
+		name, err := b.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "a" {
+			t.Error("placed on a removed backend")
+		}
+	}
+	b.AddBackend("a") // comes back empty: next placements pour into it
+	for i := 0; i < 2; i++ {
+		if name, _ := b.Acquire(); name != "a" {
+			t.Errorf("placement %d = %s, want a (fresh backend is least loaded)", i, name)
+		}
+	}
+	act := b.Active()
+	if act["a"] != 2 || act["b"]+act["c"] != 4 {
+		t.Errorf("active = %v", act)
+	}
+}
+
+func TestBalancerConcurrentChurn(t *testing.T) {
+	// Acquire/Release racing RemoveBackend/AddBackend under -race. The
+	// invariants: no placement lands on a backend observed as removed-for-
+	// good, active counts return to zero, and a quiesced balancer places on
+	// the true minimum.
+	b := NewBalancer("a", "b", "c", "d")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				name, err := b.Acquire()
+				if err != nil {
+					continue // all backends momentarily removed
+				}
+				b.Release(name)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.RemoveBackend("d")
+			b.AddBackend("d")
+		}
+	}()
+	wg.Wait()
+	for name, n := range b.Active() {
+		if n != 0 {
+			t.Errorf("backend %s leaked %d sessions", name, n)
+		}
+	}
+	// Quiesced least-loaded check: skew the load, then watch placements
+	// rebalance toward the minimum.
+	b.Acquire() // a
+	b.Acquire() // b
+	name, err := b.Acquire()
+	if err != nil || (name != "c" && name != "d") {
+		t.Errorf("placement = %s (%v), want one of the empty backends", name, err)
+	}
+}
+
+func TestBalancerLeastLoadedInvariantUnderLoad(t *testing.T) {
+	// With only Acquire/Release traffic, sequential placements from a
+	// balanced start must keep the spread ≤ 1 — the least-loaded rule.
+	b := NewBalancer("a", "b", "c", "d", "e")
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if name, err := b.Acquire(); err == nil {
+					b.Release(name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 10; i++ {
+		if _, err := b.Acquire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	act := b.Active()
+	min, max := 1<<30, 0
+	for _, n := range act {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("sequential placements spread %v: max-min > 1", act)
+	}
+}
+
+// TestBalancerMatchesReferenceModel drives random Acquire/Release/
+// RemoveBackend/AddBackend sequences against a naive map-based model and
+// demands identical placement at every step. Regression for the mid-heap
+// removal bug: deleting a non-root, non-leaf backend used to skip the
+// re-sift of the swapped-in slot, leaving the heap untrue to (load, name)
+// order.
+func TestBalancerMatchesReferenceModel(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	b := NewBalancer(names...)
+	ref := make(map[string]int)
+	for _, n := range names {
+		ref[n] = 0
+	}
+	refAcquire := func() (string, bool) {
+		best, ok := "", false
+		for n, load := range ref {
+			if !ok || load < ref[best] || (load == ref[best] && n < best) {
+				best, ok = n, true
+			}
+		}
+		if ok {
+			ref[best]++
+		}
+		return best, ok
+	}
+	r := rand.New(rand.NewSource(42))
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(10); {
+		case op < 5: // acquire
+			want, wantOK := refAcquire()
+			got, err := b.Acquire()
+			if (err == nil) != wantOK || got != want {
+				t.Fatalf("step %d: Acquire = %q (%v), reference %q (%v); ref=%v",
+					step, got, err, want, wantOK, ref)
+			}
+		case op < 8: // release a random name (may be absent or at zero)
+			n := names[r.Intn(len(names))]
+			if load, ok := ref[n]; ok && load > 0 {
+				ref[n]--
+			}
+			b.Release(n)
+		case op < 9: // remove a random backend (root, middle, or leaf)
+			n := names[r.Intn(len(names))]
+			delete(ref, n)
+			b.RemoveBackend(n)
+		default: // add it back with zero load
+			n := names[r.Intn(len(names))]
+			if _, ok := ref[n]; !ok {
+				ref[n] = 0
+			}
+			b.AddBackend(n)
+		}
+		if act := b.Active(); len(act) != len(ref) {
+			t.Fatalf("step %d: active set %v, reference %v", step, act, ref)
+		}
 	}
 }

@@ -1,0 +1,113 @@
+// Package hotpath measures the three structures every request crosses — the
+// RPC tier's service-time sampling, the notification broker's fan-out, and
+// the gateway's least-loaded placement — first from a single goroutine, then
+// with GOMAXPROCS goroutines contending on the same instance. The ratio of
+// the two throughputs is the scaling record the BENCH_*.json reports carry:
+// after the de-serialization of these paths (per-worker lockless RNGs,
+// read-locked fan-out, heap-backed placement) the parallel rate must exceed
+// the serial one; a ratio stuck at or below 1 means a global lock crept back
+// onto the request path.
+package hotpath
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"u1/internal/gateway"
+	"u1/internal/metadata"
+	"u1/internal/metrics"
+	"u1/internal/notify"
+	"u1/internal/protocol"
+	"u1/internal/rpc"
+	"u1/internal/server"
+)
+
+// Report keys for the measured paths (BenchReport.HotPaths).
+const (
+	RPCCall       = "rpc.call"
+	NotifyPublish = "notify.publish"
+	GatewayPlace  = "gateway.acquire_release"
+)
+
+var t0 = time.Unix(1390000000, 0)
+
+// Measure drives each hot path for ops operations (0 picks a default sized
+// for a sub-second run per path) and returns per-path throughput stats. The
+// fixtures are self-contained so the measurement never pollutes a live
+// cluster's metrics registry.
+func Measure(ops int) map[string]metrics.HotPathStats {
+	if ops <= 0 {
+		ops = 1 << 18
+	}
+	workers := runtime.GOMAXPROCS(0)
+	out := make(map[string]metrics.HotPathStats, 3)
+
+	// RPC tier: worker selection + per-class latency sampling + histogram
+	// recording, with no metadata store access in the way (ObserveAuth is
+	// the one RPC that touches nothing but the sampler).
+	store := metadata.New(metadata.Config{Shards: 10})
+	if _, err := store.CreateUser(1); err != nil {
+		panic(err)
+	}
+	srv := rpc.NewServer(store, rpc.Config{Seed: 11})
+	out[RPCCall] = run(ops, workers, func() { srv.ObserveAuth(1, t0, nil) })
+
+	// Notify tier: fan-out across the paper's six API machines. Tiny queues
+	// keep the drop branch hot, so the measurement is pure fan-out cost
+	// rather than consumer speed.
+	broker := notify.NewBroker()
+	for _, name := range server.DefaultMachines {
+		broker.Register(name, 1)
+	}
+	out[NotifyPublish] = run(ops, workers, func() {
+		broker.Publish(notify.Event{Kind: protocol.PushVolumeChanged, User: 1, Origin: server.DefaultMachines[0]})
+	})
+
+	// Gateway: one placement decision plus its release, holding the heap at
+	// steady state.
+	bal := gateway.NewBalancer(server.DefaultMachines...)
+	out[GatewayPlace] = run(ops, workers, func() {
+		if name, err := bal.Acquire(); err == nil {
+			bal.Release(name)
+		}
+	})
+	return out
+}
+
+// run times ops executions of op single-threaded, then the same total split
+// across workers goroutines, and folds both into HotPathStats.
+func run(ops, workers int, op func()) metrics.HotPathStats {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		op()
+	}
+	serial := time.Since(start)
+
+	var wg sync.WaitGroup
+	per := ops / workers
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op()
+			}
+		}()
+	}
+	wg.Wait()
+	parallel := time.Since(start)
+
+	st := metrics.HotPathStats{Workers: workers}
+	if serial > 0 {
+		st.SerialOpsPerSec = float64(ops) / serial.Seconds()
+	}
+	if parallel > 0 {
+		st.ParallelOpsPerSec = float64(per*workers) / parallel.Seconds()
+	}
+	if st.SerialOpsPerSec > 0 {
+		st.Speedup = st.ParallelOpsPerSec / st.SerialOpsPerSec
+	}
+	return st
+}

@@ -1,0 +1,22 @@
+package hotpath
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestMeasureShape(t *testing.T) {
+	got := Measure(2048)
+	for _, key := range []string{RPCCall, NotifyPublish, GatewayPlace} {
+		st, ok := got[key]
+		if !ok {
+			t.Fatalf("path %s missing from measurement", key)
+		}
+		if st.SerialOpsPerSec <= 0 || st.ParallelOpsPerSec <= 0 {
+			t.Errorf("path %s: degenerate throughput %+v", key, st)
+		}
+		if st.Workers != runtime.GOMAXPROCS(0) {
+			t.Errorf("path %s: workers = %d", key, st.Workers)
+		}
+	}
+}

@@ -123,7 +123,7 @@ func TestMakeContentAndDedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := protocol.HashBytes([]byte("content-1"))
-	if _, ok := s.LookupContent(h); ok {
+	if _, ok, _ := s.LookupContent(h); ok {
 		t.Fatal("content should not exist yet")
 	}
 	info, freed, wasUpdate, err := s.MakeContent(1, root.ID, f.ID, h, 1000)
@@ -133,7 +133,7 @@ func TestMakeContentAndDedup(t *testing.T) {
 	if info.Hash != h || info.Size != 1000 {
 		t.Errorf("node info = %+v", info)
 	}
-	if size, ok := s.LookupContent(h); !ok || size != 1000 {
+	if size, ok, _ := s.LookupContent(h); !ok || size != 1000 {
 		t.Error("content lookup after make")
 	}
 
@@ -746,5 +746,39 @@ func TestDeltaReplayMatchesScratch(t *testing.T) {
 		if got != n {
 			t.Errorf("node %v diverged: %+v vs %+v", n.ID, got, n)
 		}
+	}
+}
+
+func TestDeltaLogTinyLimits(t *testing.T) {
+	// Regression: DeltaLogLimit 1 halves to drop = 0 and used to index
+	// log[-1] on the second mutation of any volume. Limits 1 and 2 must
+	// trim without panicking and keep GetDelta coherent (either serve the
+	// surviving suffix or demand a rescan, never a partial view).
+	for _, limit := range []int{1, 2} {
+		s := New(Config{Shards: 2, DeltaLogLimit: limit})
+		root := mustUser(t, s, 1)
+		for i := 0; i < 8; i++ {
+			if _, err := s.MakeFile(1, root.ID, 0, fmt.Sprintf("f%d", i)); err != nil {
+				t.Fatalf("limit %d: MakeFile %d: %v", limit, i, err)
+			}
+		}
+		if _, _, err := s.GetDelta(1, root.ID, 0); !errors.Is(err, ErrDeltaTruncated) {
+			t.Errorf("limit %d: delta from 0 should be truncated, got %v", limit, err)
+		}
+		vol, err := s.GetVolume(1, root.ID)
+		if err != nil {
+			t.Fatalf("limit %d: GetVolume: %v", limit, err)
+		}
+		if deltas, gen, err := s.GetDelta(1, root.ID, vol.Generation); err != nil || gen != vol.Generation || len(deltas) != 0 {
+			t.Errorf("limit %d: up-to-date delta = %v entries, gen %d, err %v", limit, len(deltas), gen, err)
+		}
+	}
+}
+
+func TestLookupContentZeroHash(t *testing.T) {
+	s := newTestStore()
+	mustUser(t, s, 1)
+	if _, _, err := s.LookupContent(protocol.Hash{}); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("zero-hash probe: err = %v, want ErrBadRequest", err)
 	}
 }

@@ -773,6 +773,13 @@ func unlockPair(a, b *shard, start time.Time) {
 
 // LookupContent reports whether content with hash h is already stored and
 // its size (dal.get_reusable_content): the dedup check run before uploads.
-func (s *Store) LookupContent(h protocol.Hash) (size uint64, ok bool) {
-	return s.contents.lookup(h)
+// Probing with the zero hash is a protocol violation (it means "no content")
+// and fails with ErrBadRequest rather than aliasing every hashless probe to
+// one catalog row.
+func (s *Store) LookupContent(h protocol.Hash) (size uint64, ok bool, err error) {
+	if h.IsZero() {
+		return 0, false, fmt.Errorf("%w: dedup probe without a content hash", protocol.ErrBadRequest)
+	}
+	size, ok = s.contents.lookup(h)
+	return size, ok, nil
 }

@@ -253,6 +253,11 @@ func (s *Store) appendLog(sh *shard, v *volumeRow, n protocol.NodeInfo, deleted 
 		// any delta spanning that generation fall back to a full rescan, so
 		// clients never observe a partial cascade.
 		drop := sh.deltaLogLimit / 2
+		if drop < 1 {
+			// DeltaLogLimit 1 halves to zero; always trim at least one entry
+			// so the slice index below stays legal and the log stays bounded.
+			drop = 1
+		}
 		v.droppedThrough = v.log[drop-1].gen
 		v.log = append(v.log[:0:0], v.log[drop:]...)
 		s.m.logTrimmed.Inc()

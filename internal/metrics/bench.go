@@ -46,6 +46,17 @@ type ShardBalance struct {
 	CV float64 `json:"cv"`
 }
 
+// HotPathStats calibrates one per-request hot path under contention: ops/sec
+// from a single goroutine vs ops/sec with Workers goroutines hammering the
+// same structure. Speedup = parallel/serial; > 1 means the path scales with
+// cores, ≤ 1 means it serializes on a shared lock.
+type HotPathStats struct {
+	SerialOpsPerSec   float64 `json:"serial_ops_per_sec"`
+	ParallelOpsPerSec float64 `json:"parallel_ops_per_sec"`
+	Workers           int     `json:"workers"`
+	Speedup           float64 `json:"speedup"`
+}
+
 // BenchReport is the machine-readable benchmark result (BENCH_*.json): the
 // perf trajectory record CI archives on every run.
 type BenchReport struct {
@@ -65,6 +76,10 @@ type BenchReport struct {
 	// (read/write/cascade).
 	RPCClasses map[string]OpStats `json:"rpc_classes"`
 	Shards     ShardBalance       `json:"shards"`
+	// HotPaths records contended-throughput calibration of the per-request
+	// hot paths (rpc sampling, notify fan-out, balancer placement), measured
+	// by internal/hotpath and keyed by path name.
+	HotPaths map[string]HotPathStats `json:"hot_paths,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }

@@ -10,6 +10,7 @@ package notify
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"u1/internal/metrics"
 	"u1/internal/protocol"
@@ -51,13 +52,18 @@ type brokerMetrics struct {
 }
 
 // Broker is the fan-out exchange. One instance serves the whole back-end
-// (the U1 deployment ran a single RabbitMQ server).
+// (the U1 deployment ran a single RabbitMQ server). Publishers fan out under
+// the read lock with atomic counters, so concurrent publishes never
+// serialize on each other; only Register/Unregister/Instrument — the rare
+// topology changes — take the write lock.
 type Broker struct {
-	m brokerMetrics
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 
-	mu       sync.RWMutex
-	queues   map[string]chan Event
-	counters Counters
+	mu     sync.RWMutex
+	m      brokerMetrics
+	queues map[string]chan Event
 }
 
 // NewBroker creates an empty broker.
@@ -109,35 +115,42 @@ func (b *Broker) Unregister(server string) {
 // Publish fans the event out to every registered queue except the origin's
 // (the origin served its local sessions synchronously before publishing, the
 // same-process shortcut the paper's footnote 4 describes). Queue sends never
-// block: a full queue drops the event.
+// block: a full queue drops the event. Publish only takes the read lock —
+// the queues map is mutated exclusively under the write lock by Register
+// and Unregister, and channel close also happens there, so a send can never
+// race a close.
 func (b *Broker) Publish(e Event) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.counters.Published++
-	b.m.published.Inc()
-	var delivered uint64
+	b.mu.RLock()
+	m := b.m
+	var delivered, dropped uint64
 	for name, q := range b.queues {
 		if name == e.Origin {
 			continue
 		}
 		select {
 		case q <- e:
-			b.counters.Delivered++
 			delivered++
 		default:
-			b.counters.Dropped++
-			b.m.dropped.Inc()
+			dropped++
 		}
 	}
-	b.m.delivered.Add(delivered)
-	b.m.fanout.Observe(float64(delivered))
+	b.mu.RUnlock()
+	b.published.Add(1)
+	b.delivered.Add(delivered)
+	b.dropped.Add(dropped)
+	m.published.Inc()
+	m.delivered.Add(delivered)
+	m.dropped.Add(dropped)
+	m.fanout.Observe(float64(delivered))
 }
 
 // Stats returns a snapshot of the counters.
 func (b *Broker) Stats() Counters {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.counters
+	return Counters{
+		Published: b.published.Load(),
+		Delivered: b.delivered.Load(),
+		Dropped:   b.dropped.Load(),
+	}
 }
 
 // Subscribers returns the names of registered servers, for diagnostics.

@@ -1,6 +1,8 @@
 package notify
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"u1/internal/protocol"
@@ -78,5 +80,92 @@ func TestReRegisterReplacesQueue(t *testing.T) {
 	}
 	if subs := b.Subscribers(); len(subs) != 1 || subs[0] != "a" {
 		t.Errorf("subscribers = %v", subs)
+	}
+}
+
+func TestConcurrentPublishRegisterUnregister(t *testing.T) {
+	// Publishers fan out under the read lock while servers churn their
+	// registrations under the write lock. Under -race this pins down that a
+	// queue close can never race a send and that the counters stay exact.
+	b := NewBroker()
+	const publishers, perPublisher, churns = 8, 500, 200
+	// A stable subscriber that drains continuously; registered before any
+	// publisher starts so every publish fans out to at least one queue.
+	stable := b.Register("sink", 64)
+	done := make(chan struct{})
+	go func() {
+		for range stable {
+		}
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(Event{Kind: protocol.PushVolumeChanged, User: protocol.UserID(p), Origin: "stable"})
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churns; i++ {
+			q := b.Register("churny", 4)
+			// Drain a little so some sends land on the live queue.
+			select {
+			case <-q:
+			default:
+			}
+			b.Unregister("churny")
+		}
+	}()
+	wg.Wait()
+	b.Unregister("sink")
+	<-done
+
+	st := b.Stats()
+	if st.Published != publishers*perPublisher {
+		t.Errorf("published = %d, want %d", st.Published, publishers*perPublisher)
+	}
+	// Every fan-out attempt either delivered or dropped; the origin queue
+	// never existed, so delivered+dropped can exceed published only by the
+	// churny registrations that were live at publish time — and can never
+	// lose events.
+	if st.Delivered+st.Dropped < st.Published {
+		t.Errorf("delivered %d + dropped %d < published %d: events vanished",
+			st.Delivered, st.Dropped, st.Published)
+	}
+	if subs := b.Subscribers(); len(subs) != 0 {
+		t.Errorf("subscribers after teardown = %v", subs)
+	}
+}
+
+func TestConcurrentPublishersScale(t *testing.T) {
+	// Concurrent publishers must all make progress without serializing on an
+	// exclusive lock; correctness check is exact counter accounting.
+	b := NewBroker()
+	for i := 0; i < 6; i++ {
+		b.Register(fmt.Sprintf("api-%d", i), 1) // tiny queues: mostly drops
+	}
+	const publishers, per = 16, 250
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish(Event{Origin: "api-0"})
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Published != publishers*per {
+		t.Errorf("published = %d, want %d", st.Published, publishers*per)
+	}
+	if got, want := st.Delivered+st.Dropped, uint64(publishers*per*5); got != want {
+		t.Errorf("delivered+dropped = %d, want %d (5 non-origin queues per publish)", got, want)
 	}
 }

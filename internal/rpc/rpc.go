@@ -13,7 +13,6 @@ package rpc
 
 import (
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -106,13 +105,47 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// atomicSource is a lock-free rand.Source64: a splitmix64 generator whose
+// state advances by a single atomic add, so concurrent draws each consume a
+// distinct, deterministic position of the stream. Seeding a worker's source
+// with cfg.Seed+proc fixes that worker's sample stream regardless of how
+// calls interleave — the reproducibility contract the bench harness relies
+// on (same Seed + same Procs ⇒ same per-worker stream).
+type atomicSource struct {
+	state atomic.Uint64
+}
+
+const splitmix64Gamma = 0x9E3779B97F4A7C15
+
+// splitmix64Mix is the splitmix64 output function: a bijective scramble of
+// the raw counter state.
+func splitmix64Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 implements rand.Source64.
+func (s *atomicSource) Uint64() uint64 {
+	return splitmix64Mix(s.state.Add(splitmix64Gamma))
+}
+
+// Int63 implements rand.Source.
+func (s *atomicSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *atomicSource) Seed(seed int64) { s.state.Store(uint64(seed)) }
+
 // Server is the RPC tier facade over the metadata store.
 type Server struct {
 	store *metadata.Store
 	cfg   Config
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// procRNG holds one lockless generator per worker process. The samplers
+	// only draw through the source (Float64/NormFloat64 keep no state in
+	// rand.Rand itself), so sharing a worker's *rand.Rand across goroutines
+	// is race-free and call() never takes a lock.
+	procRNG []*rand.Rand
 
 	observers []Observer
 	nextProc  uint64
@@ -142,9 +175,18 @@ func NewServer(store *metadata.Store, cfg Config) *Server {
 	s := &Server{
 		store:     store,
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
+		procRNG:   make([]*rand.Rand, cfg.Procs),
 		procOps:   make([]uint64, cfg.Procs),
 		rpcErrors: cfg.Metrics.Counter("rpc.errors"),
+	}
+	for i := range s.procRNG {
+		// Scramble (seed, proc) through the mix function so nearby seeds do
+		// not alias worker streams: raw seed+proc would make Seed s worker i
+		// reproduce Seed s+1 worker i-1 exactly. Still a pure function of
+		// (Seed, proc), so reproducibility holds.
+		src := &atomicSource{}
+		src.state.Store(splitmix64Mix(uint64(seed) + uint64(i)*splitmix64Gamma))
+		s.procRNG[i] = rand.New(src)
 	}
 	rpcs := protocol.RPCs()
 	s.rpcSeconds = make([]*metrics.Histogram, len(rpcs))
@@ -178,12 +220,12 @@ func (s *Server) ProcLoads() []uint64 {
 // call wraps one store access with worker selection, latency sampling, span
 // emission and optional real sleeping. It returns the sampled service time.
 func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, err error) time.Duration {
-	proc := int(atomic.AddUint64(&s.nextProc, 1)) % len(s.procOps)
+	// Modulo before the int conversion: the raw uint64 tick would convert to
+	// a negative int on 32-bit platforms (and after wraparound on 64-bit).
+	proc := int(atomic.AddUint64(&s.nextProc, 1) % uint64(len(s.procOps)))
 	atomic.AddUint64(&s.procOps[proc], 1)
 
-	s.mu.Lock()
-	service := s.cfg.Latency.Sample(s.rng, op.Class())
-	s.mu.Unlock()
+	service := s.cfg.Latency.Sample(s.procRNG[proc], op.Class())
 
 	span := Span{
 		RPC:     op,
@@ -291,8 +333,8 @@ func (s *Server) AcceptShare(user protocol.UserID, id protocol.ShareID, now time
 
 // GetReusableContent executes dal.get_reusable_content: the dedup probe.
 func (s *Server) GetReusableContent(user protocol.UserID, h protocol.Hash, now time.Time) (size uint64, exists bool, d time.Duration, err error) {
-	size, exists = s.store.LookupContent(h)
-	return size, exists, s.call(protocol.RPCGetReusableContent, user, now, nil), nil
+	size, exists, err = s.store.LookupContent(h)
+	return size, exists, s.call(protocol.RPCGetReusableContent, user, now, err), err
 }
 
 // MakeContent executes dal.make_content.

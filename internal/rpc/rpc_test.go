@@ -1,12 +1,14 @@
 package rpc
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"u1/internal/metadata"
+	"u1/internal/metrics"
 	"u1/internal/protocol"
 	"u1/internal/stats"
 )
@@ -247,4 +249,100 @@ type fixedLatency time.Duration
 
 func (f fixedLatency) Sample(*rand.Rand, protocol.RPCClass) time.Duration {
 	return time.Duration(f)
+}
+
+func TestGetReusableContentErrorReachesSpan(t *testing.T) {
+	// The dedup probe must thread real failures through call() like every
+	// other RPC wrapper: a zero-hash probe is ErrBadRequest and has to show
+	// up in the returned error, the span, and the rpc.errors counter.
+	store := metadata.New(metadata.Config{Shards: 2})
+	store.CreateUser(1)
+	reg := metrics.NewRegistry()
+	s := NewServer(store, Config{Seed: 4, Metrics: reg})
+	var last Span
+	s.AddObserver(func(sp Span) { last = sp })
+
+	if _, _, _, err := s.GetReusableContent(1, protocol.HashBytes([]byte("x")), t0); err != nil {
+		t.Fatalf("probe of absent content: %v", err)
+	}
+	if last.Err != nil {
+		t.Errorf("absent content is not an error, span carries %v", last.Err)
+	}
+
+	_, _, _, err := s.GetReusableContent(1, protocol.Hash{}, t0)
+	if !errors.Is(err, protocol.ErrBadRequest) {
+		t.Fatalf("zero-hash probe: err = %v, want ErrBadRequest", err)
+	}
+	if !errors.Is(last.Err, protocol.ErrBadRequest) {
+		t.Errorf("span.Err = %v, want ErrBadRequest", last.Err)
+	}
+	if n := reg.Counter("rpc.errors").Value(); n != 1 {
+		t.Errorf("rpc.errors = %d, want 1", n)
+	}
+}
+
+func TestPerWorkerSamplingDeterminism(t *testing.T) {
+	// Same Seed + same Procs ⇒ the same service-time stream per worker.
+	// Single-goroutine traffic maps call i to worker i%Procs round-robin, so
+	// two identically configured tiers must sample identical durations.
+	run := func() []time.Duration {
+		store := metadata.New(metadata.Config{Shards: 4})
+		store.CreateUser(1)
+		s := NewServer(store, Config{Procs: 4, Seed: 77})
+		out := make([]time.Duration, 64)
+		for i := range out {
+			out[i] = s.ObserveAuth(1, t0, nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: %v vs %v — per-worker stream not reproducible", i, a[i], b[i])
+		}
+	}
+	// A different seed must yield a different stream (the seed is live).
+	store := metadata.New(metadata.Config{Shards: 4})
+	store.CreateUser(1)
+	s2 := NewServer(store, Config{Procs: 4, Seed: 78})
+	var same int
+	for i := 0; i < 64; i++ {
+		if s2.ObserveAuth(1, t0, nil) == a[i] {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("seed 78 reproduced seed 77's stream")
+	}
+}
+
+func TestParallelSampling(t *testing.T) {
+	// The sampling fast path is lock-free; hammer it from many goroutines
+	// (more than Procs, so workers are shared) under -race and check the
+	// books balance.
+	store := metadata.New(metadata.Config{Shards: 4})
+	store.CreateUser(1)
+	s := NewServer(store, Config{Procs: 3, Seed: 5})
+	const goroutines, per = 12, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if d := s.ObserveAuth(1, t0, nil); d <= 0 {
+					t.Error("non-positive service time")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, l := range s.ProcLoads() {
+		total += l
+	}
+	if total != goroutines*per {
+		t.Errorf("proc ops total = %d, want %d", total, goroutines*per)
+	}
 }
