@@ -374,12 +374,12 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // BenchmarkObservability snapshots the live metrics registry of the shared
 // bench cluster, derives the machine-readable benchmark report (ops/sec,
 // per-op p50/p95/p99 latency, shard balance, contended hot-path throughput)
-// and writes it to BENCH_2.json (override with U1_BENCH_OUT, empty disables)
+// and writes it to BENCH_3.json (override with U1_BENCH_OUT, empty disables)
 // — the artifact the CI bench-smoke job archives as the repo's perf
-// trajectory.
+// trajectory and diffs against the committed previous report.
 func BenchmarkObservability(b *testing.B) {
 	benchTrace(b)
-	out := "BENCH_2.json"
+	out := "BENCH_3.json"
 	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
 		out = v
 	}
@@ -509,8 +509,8 @@ func BenchmarkBlobMultipart(b *testing.B) {
 // gets a serial baseline and a b.RunParallel variant; after the
 // de-serialization refactor the parallel ops/sec at GOMAXPROCS ≥ 4 must
 // exceed the serial rate (scaling), where a globally locked path would sit
-// at or below it (serialization). BENCH_2.json records the same comparison
-// via internal/hotpath.
+// at or below it (serialization). The BENCH_N.json reports record the same
+// comparison via internal/hotpath.
 
 var hotBenchStart = time.Unix(1390000000, 0)
 
@@ -528,7 +528,7 @@ func BenchmarkHotPathSerialRPCCall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.ObserveAuth(1, hotBenchStart, nil)
+		s.ObserveAuth(1, hotBenchStart, nil, nil)
 	}
 }
 
@@ -538,7 +538,7 @@ func BenchmarkHotPathParallelRPCCall(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			s.ObserveAuth(1, hotBenchStart, nil)
+			s.ObserveAuth(1, hotBenchStart, nil, nil)
 		}
 	})
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	u1bench [-users 2000] [-days 30] [-seed 1] [-bench-out BENCH_2.json]
+//	u1bench [-users 2000] [-days 30] [-seed 1] [-bench-out BENCH_3.json]
 package main
 
 import (
@@ -28,7 +28,7 @@ func main() {
 	users := flag.Int("users", 2000, "population size (paper: 1.29M)")
 	days := flag.Int("days", 30, "trace window in days (paper: 30)")
 	seed := flag.Int64("seed", 1, "random seed")
-	benchOut := flag.String("bench-out", "BENCH_2.json", "benchmark report path (empty to skip)")
+	benchOut := flag.String("bench-out", "BENCH_3.json", "benchmark report path (empty to skip)")
 	flag.Parse()
 
 	start := time.Now()

@@ -1,0 +1,52 @@
+// Command u1benchdiff compares a freshly generated benchmark report against
+// the committed previous one (the BENCH_N.json perf trajectory) and prints a
+// markdown summary: per-op ops/sec and p99, harness throughput and hot-path
+// rates, with regressions beyond tolerance flagged. CI appends the output to
+// the job summary, replacing the manual report-to-report comparison.
+//
+// Usage:
+//
+//	u1benchdiff -prev BENCH_2.json -new BENCH_3.json [-tolerance 0.25] [-fail]
+//
+// By default regressions only warn (exit 0) — CI runner noise must not make
+// the build red; -fail turns them into a non-zero exit for local gating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"u1/internal/metrics"
+)
+
+func main() {
+	prevPath := flag.String("prev", "BENCH_2.json", "committed previous benchmark report")
+	newPath := flag.String("new", "BENCH_3.json", "freshly generated benchmark report")
+	tolerance := flag.Float64("tolerance", 0.25, "fractional worsening allowed before a metric is flagged")
+	fail := flag.Bool("fail", false, "exit non-zero when regressions are found")
+	flag.Parse()
+
+	prev, err := metrics.ReadBenchReport(*prevPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	next, err := metrics.ReadBenchReport(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	d := metrics.CompareBenchReports(prev, next, *tolerance)
+	if err := metrics.WriteBenchDiff(os.Stdout, d, *prevPath, *newPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if regs := d.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "u1benchdiff: %d regression(s) beyond tolerance %.0f%%\n", len(regs), *tolerance*100)
+		if *fail {
+			os.Exit(1)
+		}
+	}
+}

@@ -5,9 +5,30 @@
 // to simultaneously connected clients — directly for sessions they host, and
 // through the notification broker for sessions on other API servers.
 //
+// # Request pipeline
+//
+// Every one of Table 2's operations flows through the same dispatch
+// pipeline. A request is wrapped in a pooled OpContext (session, user,
+// virtual timestamp, cost accumulator, in-flight trace Event) and pushed
+// through an ordered interceptor chain into a per-op handler table built at
+// server construction:
+//
+//	proc-load → metrics → events → status-map → notify → session-guard → handler
+//
+// Handlers (one registered Handler per protocol.Op) contain only the
+// operation's business logic: they issue DAL RPCs that charge their sampled
+// service times to the context's cost accumulator, enrich the trace Event,
+// and queue watcher notifications. Everything cross-cutting — per-process
+// load counting, per-op latency/error metrics, trace-event emission, the
+// uniform error→Status mapping, and notification delivery on success — lives
+// in one interceptor each and wraps every operation identically, so a new
+// operation (or a per-op fault injector or admission controller) is one
+// registration, not a new switch arm. See dispatch.go for the interceptor
+// contract and the OpContext lifecycle.
+//
 // The server runs in two harnesses: in-process (the discrete-event simulator
 // calls OpenSession/Handle directly, with virtual timestamps) and over real
-// TCP (see tcp.go), both driving exactly the same dispatch code.
+// TCP (see tcp.go), both driving exactly the same pipeline.
 package apiserver
 
 import (
@@ -21,6 +42,7 @@ import (
 
 	"u1/internal/auth"
 	"u1/internal/blob"
+	"u1/internal/cow"
 	"u1/internal/metadata"
 	"u1/internal/metrics"
 	"u1/internal/notify"
@@ -122,8 +144,19 @@ type Server struct {
 	sessions map[protocol.SessionID]*Session
 	byUser   map[protocol.UserID]map[protocol.SessionID]*Session
 
-	observers []Observer
-	procOps   []uint64 // per-process API op counters (atomic)
+	// observers is copy-on-write: emit iterates a lock-free snapshot, so the
+	// trace collector can attach mid-traffic.
+	observers cow.List[Observer]
+
+	// handlers is the per-op dispatch table and pipeline the interceptor
+	// chain wrapped around its lookup; both are built once by buildPipeline
+	// and immutable afterwards. interceptorNames documents the chain order,
+	// outermost first.
+	handlers         []Handler
+	pipeline         Handler
+	interceptorNames []string
+
+	procOps []uint64 // per-process API op counters (atomic)
 
 	// Per-op instrumentation handles, indexed by protocol.Op. Resolved once
 	// at construction so the request path records through plain pointers.
@@ -185,6 +218,7 @@ func New(cfg Config, deps Deps) *Server {
 	if deps.Broker != nil {
 		s.queue = deps.Broker.Register(cfg.Name, cfg.QueueDepth)
 	}
+	s.buildPipeline()
 	return s
 }
 
@@ -205,8 +239,11 @@ func (s *Server) record(op protocol.Op, dur time.Duration, status protocol.Statu
 // Name returns the server's machine name.
 func (s *Server) Name() string { return s.cfg.Name }
 
-// AddObserver registers an API event observer; call before traffic starts.
-func (s *Server) AddObserver(o Observer) { s.observers = append(s.observers, o) }
+// AddObserver registers an API event observer. It is safe to call while
+// traffic is in flight: the observer list is copy-on-write, so concurrent
+// emits keep iterating their immutable snapshot and pick up the new observer
+// on their next event.
+func (s *Server) AddObserver(o Observer) { s.observers.Add(o) }
 
 // ProcOps returns cumulative API operations per server process.
 func (s *Server) ProcOps() []uint64 {
@@ -225,126 +262,36 @@ func (s *Server) SessionCount() int {
 }
 
 func (s *Server) emit(e Event) {
-	for _, o := range s.observers {
+	for _, o := range s.observers.Load() {
 		o(e)
 	}
 }
 
 // OpenSession authenticates a token and establishes a session (the
-// Authenticate API call). The returned response mirrors what goes on the
-// wire; the duration covers the auth RPC. Accounts are provisioned lazily on
-// first successful authentication, which keeps simulation setup out of the
-// trace window.
+// Authenticate API call), dispatching through the same pipeline as every
+// other operation. The returned response mirrors what goes on the wire; the
+// duration covers the auth RPC. Accounts are provisioned lazily on first
+// successful authentication, which keeps simulation setup out of the trace
+// window.
 func (s *Server) OpenSession(token string, pusher Pusher, now time.Time) (*Session, *protocol.Response, time.Duration) {
-	var user protocol.UserID
-	var err error
-	var dur time.Duration
-
-	if cached, ok := s.tokens.Get(token, now); ok {
-		user = cached
-		// Cached tokens skip the shared auth service entirely; the paper
-		// notes caching exists to avoid overloading it.
-	} else {
-		user, err = s.deps.Auth.Validate(token)
-		dur += s.deps.RPC.ObserveAuth(user, now, err)
-		if err == nil {
-			s.tokens.Put(token, user, now)
-		}
-	}
-
-	sessionID := protocol.SessionID(atomic.AddUint64(&nextSessionID, 1))
-	proc := int(uint64(sessionID)) % s.cfg.Procs
-	atomic.AddUint64(&s.procOps[proc], 1)
-
-	status := protocol.StatusOf(err)
-	ev := Event{
-		Server:   s.cfg.Name,
-		Proc:     proc,
-		Session:  sessionID,
-		User:     user,
-		Op:       protocol.OpAuthenticate,
-		Start:    now,
-		Duration: dur,
-		Status:   status,
-	}
-	if err != nil {
-		s.record(protocol.OpAuthenticate, dur, status)
-		s.emit(ev)
-		return nil, &protocol.Response{Status: status}, dur
-	}
-
-	if _, err := s.deps.RPC.Store().CreateUser(user); err != nil {
-		status = protocol.StatusOf(err)
-		ev.Status = status
-		s.record(protocol.OpAuthenticate, dur, status)
-		s.emit(ev)
-		return nil, &protocol.Response{Status: status}, dur
-	}
-
-	sess := &Session{
-		ID:        sessionID,
-		User:      user,
-		Proc:      proc,
-		Started:   now,
-		pusher:    pusher,
-		downloads: make(map[protocol.NodeID][]byte),
-	}
-	s.mu.Lock()
-	s.sessions[sess.ID] = sess
-	userSessions, ok := s.byUser[user]
-	if !ok {
-		userSessions = make(map[protocol.SessionID]*Session)
-		s.byUser[user] = userSessions
-	}
-	userSessions[sess.ID] = sess
-	s.mu.Unlock()
-
-	s.activeSessions.Inc()
-	s.record(protocol.OpAuthenticate, dur, protocol.StatusOK)
-	s.emit(ev)
-	return sess, &protocol.Response{Status: protocol.StatusOK, Session: sess.ID, User: user}, dur
+	c := s.newOpContext(nil, &protocol.Request{Op: protocol.OpAuthenticate, Token: token}, now)
+	c.Pusher = pusher
+	c.openSession = true
+	resp := s.dispatch(c)
+	sess, d := c.newSession, c.Cost.Total()
+	releaseOpContext(c)
+	return sess, resp, d
 }
 
-// CloseSession terminates a session and emits its session-end event.
+// CloseSession terminates a session through the pipeline, which emits its
+// session-end event and charges the close to the session's process.
 func (s *Server) CloseSession(sess *Session, now time.Time) {
 	if sess == nil {
 		return
 	}
-	s.mu.Lock()
-	_, present := s.sessions[sess.ID]
-	delete(s.sessions, sess.ID)
-	if userSessions, ok := s.byUser[sess.User]; ok {
-		delete(userSessions, sess.ID)
-		if len(userSessions) == 0 {
-			delete(s.byUser, sess.User)
-		}
-	}
-	s.mu.Unlock()
-
-	// Abandon any in-flight uploads of this session (the uploadjob rows
-	// stay behind for the weekly GC, as in production).
-	s.uploadsMu.Lock()
-	for id, up := range s.uploads {
-		if up.session == sess.ID {
-			delete(s.uploads, id)
-		}
-	}
-	s.uploadsMu.Unlock()
-
-	atomic.AddUint64(&s.procOps[sess.Proc], 1)
-	if present { // double-close must not skew the gauge or the op counters
-		s.activeSessions.Dec()
-		s.record(protocol.OpCloseSession, 0, protocol.StatusOK)
-	}
-	s.emit(Event{
-		Server:  s.cfg.Name,
-		Proc:    sess.Proc,
-		Session: sess.ID,
-		User:    sess.User,
-		Op:      protocol.OpCloseSession,
-		Start:   now,
-		Status:  protocol.StatusOK,
-	})
+	c := s.newOpContext(sess, &protocol.Request{Op: protocol.OpCloseSession}, now)
+	s.dispatch(c)
+	releaseOpContext(c)
 }
 
 // notifyVolume pushes a volume-change notification to every watcher session,

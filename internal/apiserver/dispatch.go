@@ -1,0 +1,298 @@
+package apiserver
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"u1/internal/protocol"
+)
+
+// OpContext is the request-scoped state threaded through the dispatch
+// pipeline: the session, resolved user, virtual timestamp, the request
+// itself, the cost accumulator that collects every RPC service time and
+// transfer estimate charged to the request, and the in-flight trace Event.
+//
+// Lifecycle: the server takes a context from an internal pool when dispatch
+// starts (Handle, OpenSession, CloseSession), initializes every field, runs
+// it through the interceptor chain and the registered handler, reads the
+// accumulated cost, and returns it to the pool. A context therefore never
+// outlives its request — handlers and interceptors must not retain it (copy
+// Event or individual fields instead).
+//
+// Handlers communicate with the cross-cutting interceptors exclusively
+// through the context: they mutate Event to enrich the trace record, charge
+// Cost, queue notifications with NotifyVolume/NotifyShare, and set the
+// suppress/skip flags where an operation opts out of the uniform
+// bookkeeping.
+type OpContext struct {
+	Session *Session
+	User    protocol.UserID
+	Now     time.Time
+	Req     *protocol.Request
+	Cost    protocol.Cost
+	Event   Event
+
+	// Pusher is the client push channel offered during Authenticate; unused
+	// by every other operation.
+	Pusher Pusher
+
+	// newSession carries the session created by the Authenticate handler
+	// back to OpenSession.
+	newSession *Session
+	// openSession marks a context built by OpenSession, the only entry
+	// point allowed to run Authenticate without a session: a raw Handle
+	// call has no way to receive the created *Session, so admitting it
+	// would leak an uncloseable session.
+	openSession bool
+
+	// hasProc marks Event.Proc as valid for per-process load accounting.
+	// Set at context creation when a session exists, and by the Authenticate
+	// handler once it has placed the new session on a process.
+	hasProc bool
+	// suppressEvent opts the request out of the uniform event emission: part
+	// streaming never reports as an API event, and an upload that opens a
+	// job reports only when its final part lands.
+	suppressEvent bool
+	// skipMetrics opts the request out of per-op metric recording (only the
+	// double-close of a session, which must not skew the op counters).
+	skipMetrics bool
+
+	// pending holds notifications queued by the handler; the notify
+	// interceptor delivers them only after the handler succeeds.
+	pending []pendingPush
+}
+
+// pendingPush is one queued notification: a volume change or a share event.
+type pendingPush struct {
+	share  bool
+	kind   protocol.PushEvent
+	volume protocol.VolumeID
+	gen    protocol.Generation
+	info   protocol.ShareInfo
+}
+
+// NotifyVolume queues a volume-changed push for every watcher of vol. The
+// notify interceptor delivers it (locally and through the broker) after the
+// handler returns without error.
+func (c *OpContext) NotifyVolume(vol protocol.VolumeID, gen protocol.Generation) {
+	c.pending = append(c.pending, pendingPush{volume: vol, gen: gen})
+}
+
+// NotifyShare queues a share push for the grantee's sessions everywhere.
+func (c *OpContext) NotifyShare(kind protocol.PushEvent, share protocol.ShareInfo) {
+	c.pending = append(c.pending, pendingPush{share: true, kind: kind, volume: share.Volume, info: share})
+}
+
+// Handler executes one API operation against a request context. On success
+// it returns the response (the pipeline stamps the correlation ID); on
+// failure it returns a nil response and the error, which the status-map
+// interceptor converts to the uniform wire status — handlers never build
+// error responses themselves.
+type Handler func(*OpContext) (*protocol.Response, error)
+
+// Interceptor wraps a Handler with a cross-cutting concern. The interceptor
+// contract:
+//
+//   - An interceptor must call next exactly once, except to reject the
+//     request outright (the session guard), in which case it returns an
+//     error and the downstream handler never runs.
+//   - Work before the next call sees the request untouched; work after it
+//     sees the handler's response/error and the fully charged Cost.
+//   - Interceptors run in the fixed order of InterceptorOrder for every
+//     operation; per-op behavior differences are expressed through OpContext
+//     flags, never by reordering.
+//   - An interceptor that maps errors (status-map) must leave interceptors
+//     outside it a non-nil response; interceptors inside it see the raw
+//     handler error.
+type Interceptor func(next Handler) Handler
+
+// chain folds interceptors around h: ics[0] becomes the outermost wrapper.
+func chain(h Handler, ics ...Interceptor) Handler {
+	for i := len(ics) - 1; i >= 0; i-- {
+		h = ics[i](h)
+	}
+	return h
+}
+
+// opCtxPool recycles request contexts; see the OpContext lifecycle note.
+var opCtxPool = sync.Pool{New: func() any { return new(OpContext) }}
+
+// newOpContext initializes a pooled context for one request. sess may be nil
+// (pre-auth requests); the session guard rejects such requests unless they
+// entered through OpenSession.
+func (s *Server) newOpContext(sess *Session, req *protocol.Request, now time.Time) *OpContext {
+	c := opCtxPool.Get().(*OpContext)
+	pending := c.pending[:0]
+	*c = OpContext{Session: sess, Now: now, Req: req, pending: pending}
+	c.Event = Event{
+		Server: s.cfg.Name,
+		Op:     req.Op,
+		Volume: req.Volume,
+		Node:   req.Node,
+		Start:  now,
+	}
+	if sess != nil {
+		c.User = sess.User
+		c.hasProc = true
+		c.Event.Proc = sess.Proc
+		c.Event.Session = sess.ID
+		c.Event.User = sess.User
+	}
+	return c
+}
+
+// releaseOpContext returns a context to the pool. Callers must have read
+// everything they need (cost total, new session) first.
+func releaseOpContext(c *OpContext) {
+	pending := c.pending[:0]
+	*c = OpContext{pending: pending}
+	opCtxPool.Put(c)
+}
+
+// buildPipeline registers the per-op handler table and folds the interceptor
+// chain. Called once from New; the table and chain are immutable afterwards.
+// Names and functions live in one slice so the documented order can never
+// drift from the executed one.
+func (s *Server) buildPipeline() {
+	s.registerHandlers()
+	ics := []struct {
+		name string
+		ic   Interceptor
+	}{
+		{"proc-load", s.procLoadInterceptor},  // per-process op counters
+		{"metrics", s.metricsInterceptor},     // per-op latency histogram + outcome counters
+		{"events", s.eventInterceptor},        // uniform trace-event emission to observers
+		{"status-map", s.statusInterceptor},   // uniform error→Status mapping + correlation ID
+		{"notify", s.notifyInterceptor},       // queued volume/share push delivery on success
+		{"session-guard", s.guardInterceptor}, // admission: no session, no service
+	}
+	wraps := make([]Interceptor, len(ics))
+	for i, x := range ics {
+		s.interceptorNames = append(s.interceptorNames, x.name)
+		wraps[i] = x.ic
+	}
+	s.pipeline = chain(s.invoke, wraps...)
+}
+
+// InterceptorOrder reports the interceptor chain from outermost to
+// innermost, for diagnostics and tests of ordering determinism.
+func (s *Server) InterceptorOrder() []string {
+	return append([]string(nil), s.interceptorNames...)
+}
+
+// invoke is the innermost stage: the handler-table lookup. Unregistered or
+// out-of-range operations fail with the table default, ErrBadRequest.
+func (s *Server) invoke(c *OpContext) (*protocol.Response, error) {
+	op := int(c.Req.Op)
+	if op >= len(s.handlers) || s.handlers[op] == nil {
+		return nil, protocol.ErrBadRequest
+	}
+	return s.handlers[op](c)
+}
+
+// dispatch runs one request context through the pipeline. The status-map
+// interceptor guarantees a non-nil response on every path.
+func (s *Server) dispatch(c *OpContext) *protocol.Response {
+	resp, err := s.pipeline(c)
+	if resp == nil {
+		// Unreachable past status-map; kept as a hard backstop so a broken
+		// interceptor can never make the server write a nil frame.
+		resp = fail(c.Req.ID, err)
+	}
+	return resp
+}
+
+// guardInterceptor rejects sessionless requests before any handler state is
+// touched. The one exception is Authenticate dispatched via OpenSession —
+// the only entry point that can hand the created session back to the
+// transport. Rejected requests leave no trace event or metric: they were
+// never admitted to the pipeline proper.
+func (s *Server) guardInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		if c.Session == nil && !c.openSession {
+			c.suppressEvent = true
+			c.skipMetrics = true
+			return nil, errSessionRequired
+		}
+		return next(c)
+	}
+}
+
+// notifyInterceptor delivers the handler's queued notifications once the
+// handler has succeeded; a failed operation must never push stale
+// generations to watchers.
+func (s *Server) notifyInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		resp, err := next(c)
+		if err == nil {
+			origin := c.Session
+			if origin == nil {
+				origin = c.newSession
+			}
+			for _, p := range c.pending {
+				if p.share {
+					s.notifyShare(origin, p.kind, p.info)
+				} else {
+					s.notifyVolume(origin, p.volume, p.gen)
+				}
+			}
+		}
+		return resp, err
+	}
+}
+
+// statusInterceptor is the uniform error→Status mapping: a handler error
+// becomes a bare failure response via protocol.StatusOf, and every response
+// — success or failure — is stamped with the request's correlation ID. From
+// here outwards the response is always non-nil and the error is consumed.
+func (s *Server) statusInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		resp, err := next(c)
+		if err != nil || resp == nil {
+			resp = fail(c.Req.ID, err)
+		} else {
+			resp.ID = c.Req.ID
+		}
+		return resp, nil
+	}
+}
+
+// eventInterceptor completes the in-flight Event with the final duration and
+// status and emits it to the API observers, unless the operation suppressed
+// its record (part streaming, job-opening uploads).
+func (s *Server) eventInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		resp, err := next(c)
+		if !c.suppressEvent {
+			c.Event.Duration = c.Cost.Total()
+			c.Event.Status = resp.Status
+			s.emit(c.Event)
+		}
+		return resp, err
+	}
+}
+
+// metricsInterceptor charges the completed operation to the fleet metrics:
+// accumulated cost into the per-op histogram plus outcome counters.
+func (s *Server) metricsInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		resp, err := next(c)
+		if !c.skipMetrics {
+			s.record(c.Req.Op, c.Cost.Total(), resp.Status)
+		}
+		return resp, err
+	}
+}
+
+// procLoadInterceptor counts the request against its API process, once the
+// process is known (sessions carry it; Authenticate assigns it).
+func (s *Server) procLoadInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		resp, err := next(c)
+		if c.hasProc {
+			atomic.AddUint64(&s.procOps[c.Event.Proc], 1)
+		}
+		return resp, err
+	}
+}

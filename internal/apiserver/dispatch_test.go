@@ -1,0 +1,264 @@
+package apiserver
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"u1/internal/auth"
+	"u1/internal/blob"
+	"u1/internal/metadata"
+	"u1/internal/metrics"
+	"u1/internal/notify"
+	"u1/internal/protocol"
+	"u1/internal/rpc"
+)
+
+// TestEveryOpHasRegisteredHandler pins the dispatch-table invariant: all of
+// Table 2's operations — including the session lifecycle ops — resolve to a
+// registered handler, so no op silently falls through to the bad-request
+// default.
+func TestEveryOpHasRegisteredHandler(t *testing.T) {
+	f := newFixture(t)
+	for _, op := range protocol.Ops() {
+		if int(op) >= len(f.srv.handlers) || f.srv.handlers[op] == nil {
+			t.Errorf("op %v has no registered handler", op)
+		}
+	}
+	if len(f.srv.handlers) != len(protocol.Ops()) {
+		t.Errorf("handler table has %d slots for %d ops", len(f.srv.handlers), len(protocol.Ops()))
+	}
+}
+
+// TestUnknownOpTableDefault covers the table default: operations outside the
+// registered vocabulary fail uniformly with StatusBadRequest, both just past
+// the table edge and far outside it.
+func TestUnknownOpTableDefault(t *testing.T) {
+	f := newFixture(t)
+	sess := f.session(t, 31)
+	for _, op := range []protocol.Op{protocol.Op(len(protocol.Ops())), protocol.Op(200), protocol.Op(255)} {
+		resp, _ := f.srv.Handle(sess, &protocol.Request{ID: 7, Op: op}, t0)
+		if resp.Status != protocol.StatusBadRequest {
+			t.Errorf("op %d: status = %v, want bad request", op, resp.Status)
+		}
+		if resp.ID != 7 {
+			t.Errorf("op %d: correlation id = %d, want 7", op, resp.ID)
+		}
+	}
+}
+
+// TestInterceptorOrderDeterministic asserts both that the configured chain
+// matches the documented order and that construction is reproducible: two
+// servers built from the same config report identical chains.
+func TestInterceptorOrderDeterministic(t *testing.T) {
+	want := []string{"proc-load", "metrics", "events", "status-map", "notify", "session-guard"}
+	a, b := newFixture(t), newFixture(t)
+	if got := a.srv.InterceptorOrder(); !reflect.DeepEqual(got, want) {
+		t.Errorf("interceptor order = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(a.srv.InterceptorOrder(), b.srv.InterceptorOrder()) {
+		t.Error("two identically configured servers report different chains")
+	}
+}
+
+// TestChainInvocationOrder drives a synthetic chain and checks the wrap
+// semantics interceptors rely on: the first interceptor passed to chain is
+// outermost — first on the way in, last on the way out.
+func TestChainInvocationOrder(t *testing.T) {
+	var trace []string
+	mk := func(name string) Interceptor {
+		return func(next Handler) Handler {
+			return func(c *OpContext) (*protocol.Response, error) {
+				trace = append(trace, "in:"+name)
+				resp, err := next(c)
+				trace = append(trace, "out:"+name)
+				return resp, err
+			}
+		}
+	}
+	base := func(*OpContext) (*protocol.Response, error) {
+		trace = append(trace, "handler")
+		return &protocol.Response{Status: protocol.StatusOK}, nil
+	}
+	h := chain(base, mk("a"), mk("b"), mk("c"))
+	if _, err := h(&OpContext{Req: &protocol.Request{}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"in:a", "in:b", "in:c", "handler", "out:c", "out:b", "out:a"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("invocation order = %v, want %v", trace, want)
+	}
+}
+
+// TestUniformErrorStatusMapping substitutes a failing stub for every
+// registered op and checks that the status-map interceptor translates each
+// sentinel error identically regardless of which operation raised it — the
+// property the old per-arm StatusOf calls only upheld by convention.
+func TestUniformErrorStatusMapping(t *testing.T) {
+	sentinels := map[error]protocol.Status{
+		protocol.ErrAuthFailed:  protocol.StatusAuthFailed,
+		protocol.ErrNotFound:    protocol.StatusNotFound,
+		protocol.ErrExists:      protocol.StatusExists,
+		protocol.ErrPermission:  protocol.StatusPermission,
+		protocol.ErrBadRequest:  protocol.StatusBadRequest,
+		protocol.ErrUnavailable: protocol.StatusUnavailable,
+		protocol.ErrConflict:    protocol.StatusConflict,
+		protocol.ErrQuota:       protocol.StatusQuota,
+	}
+	f := newFixture(t)
+	sess := f.session(t, 32)
+	for err, want := range sentinels {
+		err := err
+		for _, op := range protocol.Ops() {
+			f.srv.handlers[op] = func(*OpContext) (*protocol.Response, error) {
+				return nil, err
+			}
+			resp, _ := f.srv.Handle(sess, &protocol.Request{ID: 42, Op: op}, t0)
+			if resp.Status != want {
+				t.Errorf("op %v, err %v: status = %v, want %v", op, err, resp.Status, want)
+			}
+			if resp.ID != 42 {
+				t.Errorf("op %v: failure response lost correlation id", op)
+			}
+		}
+	}
+}
+
+// TestHandleChargesCostUniformly checks the cost plumbing end to end: the
+// duration Handle returns is the accumulated RPC cost, and the same total
+// reaches the emitted trace event — no handler threads durations by hand
+// anymore.
+func TestHandleChargesCostUniformly(t *testing.T) {
+	f := newFixture(t)
+	var events []Event
+	f.srv.AddObserver(func(e Event) { events = append(events, e) })
+	sess := f.session(t, 33)
+
+	resp, d := f.srv.Handle(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0)
+	if resp.Status != protocol.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if d <= 0 {
+		t.Error("ListVolumes must charge its RPC service time")
+	}
+	last := events[len(events)-1]
+	if last.Op != protocol.OpListVolumes || last.Duration != d {
+		t.Errorf("event duration %v != handle duration %v", last.Duration, d)
+	}
+}
+
+// TestAuthenticateViaHandleRejected pins the guard exception down to its
+// one legitimate entry point: a raw Handle call cannot receive the created
+// *Session, so admitting a sessionless Authenticate there would leak an
+// uncloseable session and inflate the active-session gauge forever.
+func TestAuthenticateViaHandleRejected(t *testing.T) {
+	f := newFixture(t)
+	token, _ := f.auth.Issue(30)
+	resp, _ := f.srv.Handle(nil, &protocol.Request{Op: protocol.OpAuthenticate, Token: token}, t0)
+	if resp.Status != protocol.StatusAuthFailed {
+		t.Errorf("sessionless auth via Handle: status = %v, want auth failed", resp.Status)
+	}
+	if f.srv.SessionCount() != 0 {
+		t.Errorf("sessionless auth via Handle leaked %d session(s)", f.srv.SessionCount())
+	}
+}
+
+// TestAuthenticateOnLiveSessionRejected pins the protocol rule the table
+// made reachable: re-authenticating an already authenticated connection is a
+// bad request, not a second session.
+func TestAuthenticateOnLiveSessionRejected(t *testing.T) {
+	f := newFixture(t)
+	sess := f.session(t, 34)
+	token, _ := f.auth.Issue(34)
+	resp, _ := f.srv.Handle(sess, &protocol.Request{Op: protocol.OpAuthenticate, Token: token}, t0)
+	if resp.Status != protocol.StatusBadRequest {
+		t.Errorf("re-auth status = %v, want bad request", resp.Status)
+	}
+	if f.srv.SessionCount() != 1 {
+		t.Errorf("re-auth changed session count to %d", f.srv.SessionCount())
+	}
+}
+
+// TestCloseSessionThroughHandle exercises the close handler via plain
+// dispatch (the table route), not just the CloseSession wrapper.
+func TestCloseSessionThroughHandle(t *testing.T) {
+	f := newFixture(t)
+	sess := f.session(t, 35)
+	resp, _ := f.srv.Handle(sess, &protocol.Request{Op: protocol.OpCloseSession}, t0)
+	if resp.Status != protocol.StatusOK {
+		t.Fatalf("close status = %v", resp.Status)
+	}
+	if f.srv.SessionCount() != 0 {
+		t.Error("session survived CloseSession dispatch")
+	}
+}
+
+// TestDynamicAPIObserverAttach hammers Handle from several goroutines while
+// observers attach mid-traffic; run under -race this pins the copy-on-write
+// observer list of the API event path.
+func TestDynamicAPIObserverAttach(t *testing.T) {
+	f := newFixture(t)
+	const workers, per = 4, 150
+	var wg sync.WaitGroup
+	sessions := make([]*Session, workers)
+	for w := range sessions {
+		sessions[w] = f.session(t, protocol.UserID(40+w))
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.srv.Handle(sess, &protocol.Request{Op: protocol.OpPing}, t0)
+			}
+		}(sessions[w])
+	}
+	var mu sync.Mutex
+	var seen int
+	for i := 0; i < 8; i++ {
+		f.srv.AddObserver(func(Event) { mu.Lock(); seen++; mu.Unlock() })
+	}
+	wg.Wait()
+	f.srv.Handle(sessions[0], &protocol.Request{Op: protocol.OpPing}, t0)
+	mu.Lock()
+	defer mu.Unlock()
+	if seen == 0 {
+		t.Error("observers attached mid-traffic saw no events")
+	}
+}
+
+// TestSuppressedEventsStillRecordMetrics pins the flag split: PutPart/GetPart
+// suppress their trace events but still count in the per-op metrics — the
+// event and metrics interceptors honor different opt-outs, so merging the
+// two flags would silently drop part ops from the bench report.
+func TestSuppressedEventsStillRecordMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := &fixture{
+		store:  metadata.New(metadata.Config{Shards: 4}),
+		blob:   blob.New(blob.Config{}),
+		auth:   auth.New(auth.Config{Seed: 1}),
+		broker: notify.NewBroker(),
+	}
+	f.srv = New(Config{Name: "m", Procs: 2}, Deps{
+		RPC:      rpc.NewServer(f.store, rpc.Config{Seed: 1, Metrics: reg}),
+		Auth:     f.auth,
+		Blob:     f.blob,
+		Broker:   f.broker,
+		Transfer: blob.DefaultTransferModel(),
+		Metrics:  reg,
+	})
+	var events []Event
+	f.srv.AddObserver(func(e Event) { events = append(events, e) })
+	sess := f.session(t, 36)
+
+	before := reg.Counter("api.op.GetPart.count").Value()
+	f.srv.Handle(sess, &protocol.Request{Op: protocol.OpGetPart, Node: 1, Part: 0}, t0)
+	for _, e := range events {
+		if e.Op == protocol.OpGetPart {
+			t.Error("GetPart must not emit an API event")
+		}
+	}
+	if got := reg.Counter("api.op.GetPart.count").Value(); got != before+1 {
+		t.Errorf("api.op.GetPart.count = %d, want %d: suppressed events must still record metrics", got, before+1)
+	}
+}

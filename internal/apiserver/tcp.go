@@ -97,6 +97,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		var resp *protocol.Response
 		switch {
 		case req.Op == protocol.OpAuthenticate:
+			if sess != nil {
+				// One storage-protocol session per connection: re-auth on a
+				// live session is a protocol violation (mirrors the
+				// opAuthenticate handler's rule), and silently replacing sess
+				// here would leak the prior session forever.
+				resp = fail(req.ID, protocol.ErrBadRequest)
+				break
+			}
 			var r *protocol.Response
 			sess, r, _ = s.OpenSession(req.Token, w, now)
 			r.ID = req.ID

@@ -52,6 +52,16 @@ func (t *DirectTransport) Do(req *protocol.Request) (*protocol.Response, error) 
 	now := t.clock()
 	switch req.Op {
 	case protocol.OpAuthenticate:
+		// A reconnect implicitly drops the previous connection: close any
+		// session still attached to this transport before placing the new
+		// one, or it would linger server-side until the weekly sweep.
+		t.mu.Lock()
+		oldSess, oldServer := t.sess, t.server
+		t.sess = nil
+		t.mu.Unlock()
+		if oldSess != nil && oldServer != nil {
+			oldServer.CloseSession(oldSess, now)
+		}
 		server := t.place()
 		pusher := apiserver.PusherFunc(func(p *protocol.Push) {
 			select {

@@ -51,7 +51,7 @@ func Measure(ops int) map[string]metrics.HotPathStats {
 		panic(err)
 	}
 	srv := rpc.NewServer(store, rpc.Config{Seed: 11})
-	out[RPCCall] = run(ops, workers, func() { srv.ObserveAuth(1, t0, nil) })
+	out[RPCCall] = run(ops, workers, func() { srv.ObserveAuth(1, t0, nil, nil) })
 
 	// Notify tier: fan-out across the paper's six API machines. Tiny queues
 	// keep the drop branch hot, so the measurement is pure fan-out cost

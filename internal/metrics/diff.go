@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReadBenchReport loads a BENCH_*.json report written by WriteBenchReport.
+func ReadBenchReport(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("metrics: reading bench report: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("metrics: decoding bench report %s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return rep, fmt.Errorf("metrics: bench report %s has schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	return rep, nil
+}
+
+// BenchDelta is one metric compared across two reports. Ratio is next/prev;
+// for throughput metrics lower is worse, for latency metrics higher is worse.
+type BenchDelta struct {
+	Metric     string
+	Prev, Next float64
+	Ratio      float64
+	// Regressed marks the delta as beyond the comparison tolerance in the
+	// bad direction for its metric kind.
+	Regressed bool
+}
+
+// BenchDiff is the comparison of a fresh report against the committed
+// previous one: the per-PR perf trajectory check CI performs automatically.
+type BenchDiff struct {
+	Deltas []BenchDelta
+}
+
+// Regressions returns only the deltas beyond tolerance.
+func (d BenchDiff) Regressions() []BenchDelta {
+	var out []BenchDelta
+	for _, x := range d.Deltas {
+		if x.Regressed {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// minCompareCount guards per-op comparisons against statistical noise: ops
+// observed fewer times than this in either report are skipped.
+const minCompareCount = 100
+
+// CompareBenchReports diffs next against prev: harness throughput, per-op
+// throughput and p99 latency, and the contended hot-path rates. tolerance is
+// the fractional worsening allowed before a delta is flagged (throughput may
+// drop to prev*(1-tolerance); p99 may grow to prev*(1+tolerance)) — CI
+// runners are noisy, so tolerances below ~0.25 flag phantom regressions.
+func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
+	if tolerance <= 0 {
+		tolerance = 0.25
+	}
+	var d BenchDiff
+	throughput := func(metric string, p, n float64) {
+		if p <= 0 || n < 0 {
+			return
+		}
+		d.Deltas = append(d.Deltas, BenchDelta{
+			Metric: metric, Prev: p, Next: n, Ratio: n / p,
+			Regressed: n < p*(1-tolerance),
+		})
+	}
+	latency := func(metric string, p, n float64) {
+		if p <= 0 || n < 0 {
+			return
+		}
+		d.Deltas = append(d.Deltas, BenchDelta{
+			Metric: metric, Prev: p, Next: n, Ratio: n / p,
+			Regressed: n > p*(1+tolerance),
+		})
+	}
+
+	throughput("ops_per_sec", prev.OpsPerSec, next.OpsPerSec)
+	for _, op := range prev.SortedOpNames() {
+		po := prev.Ops[op]
+		no, ok := next.Ops[op]
+		if !ok || po.Count < minCompareCount || no.Count < minCompareCount {
+			continue
+		}
+		throughput("op."+op+".ops_per_sec", po.OpsPerSec, no.OpsPerSec)
+		latency("op."+op+".p99_ms", po.P99Ms, no.P99Ms)
+	}
+
+	paths := make([]string, 0, len(prev.HotPaths))
+	for name := range prev.HotPaths {
+		paths = append(paths, name)
+	}
+	sort.Strings(paths)
+	for _, name := range paths {
+		pp := prev.HotPaths[name]
+		np, ok := next.HotPaths[name]
+		if !ok {
+			continue
+		}
+		throughput("hot_path."+name+".parallel_ops_per_sec", pp.ParallelOpsPerSec, np.ParallelOpsPerSec)
+	}
+	return d
+}
+
+// WriteBenchDiff renders the comparison as a GitHub-flavored markdown
+// summary (the CI job summary format): a regression warning block when
+// anything exceeded tolerance, then the full comparison table.
+func WriteBenchDiff(w io.Writer, d BenchDiff, prevName, nextName string) error {
+	regs := d.Regressions()
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "### Bench diff: %s vs %s — no regressions beyond tolerance\n\n", nextName, prevName)
+	} else {
+		fmt.Fprintf(w, "### ⚠️ Bench diff: %s vs %s — %d regression(s) beyond tolerance\n\n", nextName, prevName, len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(w, "- **%s**: %.4g → %.4g (×%.2f)\n", r.Metric, r.Prev, r.Next, r.Ratio)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "| metric | prev | new | ratio | |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, x := range d.Deltas {
+		flag := ""
+		if x.Regressed {
+			flag = "⚠️"
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %.4g | %.4g | %.2f | %s |\n", x.Metric, x.Prev, x.Next, x.Ratio, flag); err != nil {
+			return err
+		}
+	}
+	return nil
+}

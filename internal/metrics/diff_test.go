@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffFixture() (BenchReport, BenchReport) {
+	prev := BenchReport{
+		Schema:    BenchSchema,
+		OpsPerSec: 10000,
+		Ops: map[string]OpStats{
+			"Upload":   {Count: 5000, OpsPerSec: 800, P99Ms: 40},
+			"Download": {Count: 5000, OpsPerSec: 700, P99Ms: 30},
+			"Rare":     {Count: 3, OpsPerSec: 1, P99Ms: 5}, // below minCompareCount
+		},
+		HotPaths: map[string]HotPathStats{
+			"rpc.call": {ParallelOpsPerSec: 1e6},
+		},
+	}
+	next := BenchReport{
+		Schema:    BenchSchema,
+		OpsPerSec: 9800, // within tolerance
+		Ops: map[string]OpStats{
+			"Upload":   {Count: 5100, OpsPerSec: 300, P99Ms: 41},  // throughput regression
+			"Download": {Count: 5100, OpsPerSec: 720, P99Ms: 100}, // p99 regression
+			"Rare":     {Count: 2, OpsPerSec: 0.1, P99Ms: 500},    // skipped: tiny count
+		},
+		HotPaths: map[string]HotPathStats{
+			"rpc.call": {ParallelOpsPerSec: 1.1e6},
+		},
+	}
+	return prev, next
+}
+
+func TestCompareBenchReports(t *testing.T) {
+	prev, next := diffFixture()
+	d := CompareBenchReports(prev, next, 0.25)
+
+	regressed := make(map[string]bool)
+	for _, r := range d.Regressions() {
+		regressed[r.Metric] = true
+	}
+	if !regressed["op.Upload.ops_per_sec"] {
+		t.Error("Upload throughput collapse not flagged")
+	}
+	if !regressed["op.Download.p99_ms"] {
+		t.Error("Download p99 blow-up not flagged")
+	}
+	if regressed["ops_per_sec"] {
+		t.Error("2% throughput dip flagged despite 25% tolerance")
+	}
+	if regressed["hot_path.rpc.call.parallel_ops_per_sec"] {
+		t.Error("hot-path improvement flagged as regression")
+	}
+	for _, x := range d.Deltas {
+		if strings.Contains(x.Metric, "Rare") {
+			t.Error("low-count op must be skipped as noise")
+		}
+	}
+}
+
+func TestCompareBenchReportsCleanPass(t *testing.T) {
+	prev, _ := diffFixture()
+	d := CompareBenchReports(prev, prev, 0.25)
+	if n := len(d.Regressions()); n != 0 {
+		t.Errorf("self-comparison found %d regressions", n)
+	}
+	if len(d.Deltas) == 0 {
+		t.Error("self-comparison produced no deltas")
+	}
+}
+
+func TestWriteBenchDiffMarkdown(t *testing.T) {
+	prev, next := diffFixture()
+	d := CompareBenchReports(prev, next, 0.25)
+	var sb strings.Builder
+	if err := WriteBenchDiff(&sb, d, "BENCH_2.json", "BENCH_3.json"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "regression(s) beyond tolerance") {
+		t.Errorf("summary missing warning header:\n%s", out)
+	}
+	if !strings.Contains(out, "op.Upload.ops_per_sec") {
+		t.Errorf("summary missing regressed metric:\n%s", out)
+	}
+}
+
+func TestReadBenchReportRoundTrip(t *testing.T) {
+	prev, _ := diffFixture()
+	path := filepath.Join(t.TempDir(), "BENCH_X.json")
+	if err := WriteBenchReport(path, prev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OpsPerSec != prev.OpsPerSec || len(got.Ops) != len(prev.Ops) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadBenchReportRejectsWrongSchema(t *testing.T) {
+	rep := BenchReport{Schema: "other/1"}
+	path := filepath.Join(t.TempDir(), "BENCH_X.json")
+	if err := WriteBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

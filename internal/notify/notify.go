@@ -9,6 +9,7 @@
 package notify
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -51,24 +52,58 @@ type brokerMetrics struct {
 	fanout    *metrics.Histogram
 }
 
+// subscriber is one registered queue.
+type subscriber struct {
+	name string
+	ch   chan Event
+}
+
 // Broker is the fan-out exchange. One instance serves the whole back-end
-// (the U1 deployment ran a single RabbitMQ server). Publishers fan out under
-// the read lock with atomic counters, so concurrent publishes never
-// serialize on each other; only Register/Unregister/Instrument — the rare
-// topology changes — take the write lock.
+// (the U1 deployment ran a single RabbitMQ server). Publish snapshots the
+// subscriber array under the read lock and performs every queue send outside
+// it, so the broker-wide critical section is a single slice copy no matter
+// how wide the fan-out, and sends themselves are plain non-blocking channel
+// operations with no per-queue locking.
+//
+// Close safety without per-send locks: every fan-out registers in the
+// in-flight gate selected by the current epoch parity (read and incremented
+// under the read lock) and leaves it after its last send. A topology change
+// that must close a channel flips the epoch under the write lock — so every
+// later fan-out uses the other gate and a rebuilt snapshot that no longer
+// contains the queue — and then waits for the old gate to drain to zero
+// before closing. Flips are serialized by topoMu, so the gate being waited
+// on can only decrease; once it reaches zero, no fan-out that could still
+// see the removed queue is running, and the close can never race a send.
 type Broker struct {
 	published atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 
-	mu     sync.RWMutex
-	m      brokerMetrics
-	queues map[string]chan Event
+	// epoch's parity selects the gate in-flight fan-outs register in; gates
+	// count fan-outs per parity.
+	epoch atomic.Uint32
+	gates [2]atomic.Int64
+	// topoMu serializes epoch flips, so a drain never competes with another
+	// flip reusing its parity.
+	topoMu sync.Mutex
+
+	mu   sync.RWMutex
+	m    brokerMetrics
+	subs map[string]*subscriber
+	// list is the immutable fan-out snapshot, rebuilt on every topology
+	// change; Publish copies the slice header under RLock and iterates it
+	// lock-free.
+	list []*subscriber
 }
+
+// publishFanoutHook, when non-nil, runs once per Publish after the read lock
+// is released and before any queue send. Tests use it to prove that sends
+// happen outside the broker lock; it must stay nil in production.
+var publishFanoutHook func()
 
 // NewBroker creates an empty broker.
 func NewBroker() *Broker {
-	b := &Broker{queues: make(map[string]chan Event)}
+	b := &Broker{subs: make(map[string]*subscriber)}
 	b.Instrument(nil)
 	return b
 }
@@ -92,49 +127,104 @@ func (b *Broker) Register(server string, buffer int) <-chan Event {
 	if buffer <= 0 {
 		buffer = 1024
 	}
-	q := make(chan Event, buffer)
+	q := &subscriber{name: server, ch: make(chan Event, buffer)}
+	b.topoMu.Lock()
+	defer b.topoMu.Unlock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if old, ok := b.queues[server]; ok {
-		close(old)
+	old := b.subs[server]
+	b.subs[server] = q
+	b.rebuildLocked()
+	oldParity := b.flipLocked(old != nil)
+	b.mu.Unlock()
+	if old != nil {
+		b.drainThenClose(old, oldParity)
 	}
-	b.queues[server] = q
-	return q
+	return q.ch
 }
 
 // Unregister removes a server's queue and closes its channel.
 func (b *Broker) Unregister(server string) {
+	b.topoMu.Lock()
+	defer b.topoMu.Unlock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if q, ok := b.queues[server]; ok {
-		close(q)
-		delete(b.queues, server)
+	q := b.subs[server]
+	delete(b.subs, server)
+	b.rebuildLocked()
+	oldParity := b.flipLocked(q != nil)
+	b.mu.Unlock()
+	if q != nil {
+		b.drainThenClose(q, oldParity)
 	}
+}
+
+// rebuildLocked refreshes the immutable fan-out snapshot; callers hold the
+// write lock.
+func (b *Broker) rebuildLocked() {
+	list := make([]*subscriber, 0, len(b.subs))
+	for _, q := range b.subs {
+		list = append(list, q)
+	}
+	b.list = list
+}
+
+// flipLocked advances the epoch when a queue must be closed and returns the
+// retiring parity. Callers hold both topoMu and the write lock, so every
+// fan-out after this point registers in the other gate.
+func (b *Broker) flipLocked(closing bool) uint32 {
+	parity := b.epoch.Load() & 1
+	if closing {
+		b.epoch.Add(1)
+	}
+	return parity
+}
+
+// drainThenClose closes a queue that was just removed from the snapshot,
+// after the retiring gate drains: every fan-out registered there took its
+// snapshot before the removal, and no new fan-out can join it (the epoch
+// moved on and topoMu keeps the parity from being reused mid-wait), so gate
+// zero means no sender can still see q. Fan-outs are non-blocking and finish
+// in nanoseconds; topology changes are rare, so the brief spin is confined
+// to this cold path.
+func (b *Broker) drainThenClose(q *subscriber, parity uint32) {
+	for b.gates[parity].Load() != 0 {
+		runtime.Gosched()
+	}
+	close(q.ch)
 }
 
 // Publish fans the event out to every registered queue except the origin's
 // (the origin served its local sessions synchronously before publishing, the
 // same-process shortcut the paper's footnote 4 describes). Queue sends never
-// block: a full queue drops the event. Publish only takes the read lock —
-// the queues map is mutated exclusively under the write lock by Register
-// and Unregister, and channel close also happens there, so a send can never
-// race a close.
+// block: a full queue drops the event. The read lock is held only to
+// snapshot the subscriber array and register in the epoch's in-flight gate;
+// every send happens outside it, so a wide fan-out never extends the
+// broker's critical section. The gate lets Register/Unregister wait out
+// in-flight snapshots before closing a removed queue's channel.
 func (b *Broker) Publish(e Event) {
 	b.mu.RLock()
 	m := b.m
+	list := b.list
+	gate := &b.gates[b.epoch.Load()&1]
+	gate.Add(1)
+	b.mu.RUnlock()
+
+	if publishFanoutHook != nil {
+		publishFanoutHook()
+	}
 	var delivered, dropped uint64
-	for name, q := range b.queues {
-		if name == e.Origin {
+	for _, q := range list {
+		if q.name == e.Origin {
 			continue
 		}
 		select {
-		case q <- e:
+		case q.ch <- e:
 			delivered++
 		default:
 			dropped++
 		}
 	}
-	b.mu.RUnlock()
+	gate.Add(-1)
+
 	b.published.Add(1)
 	b.delivered.Add(delivered)
 	b.dropped.Add(dropped)
@@ -157,8 +247,8 @@ func (b *Broker) Stats() Counters {
 func (b *Broker) Subscribers() []string {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	out := make([]string, 0, len(b.queues))
-	for name := range b.queues {
+	out := make([]string, 0, len(b.subs))
+	for name := range b.subs {
 		out = append(out, name)
 	}
 	return out

@@ -2,6 +2,7 @@ package notify
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -83,12 +84,50 @@ func TestReRegisterReplacesQueue(t *testing.T) {
 	}
 }
 
+// TestPublishSendsOutsideReadLock pins the snapshot-array fan-out contract:
+// Publish holds the broker's read lock only to copy the subscriber list, and
+// every queue send happens after the lock is released. The hook fires
+// between the two; if Publish still held its read lock there, grabbing the
+// write lock would fail.
+func TestPublishSendsOutsideReadLock(t *testing.T) {
+	b := NewBroker()
+	b.Register("a", 1)
+	b.Register("b", 1)
+
+	heldDuringFanout := false
+	publishFanoutHook = func() {
+		if b.mu.TryLock() {
+			b.mu.Unlock()
+		} else {
+			heldDuringFanout = true
+		}
+	}
+	defer func() { publishFanoutHook = nil }()
+
+	b.Publish(Event{Origin: "a"})
+	if heldDuringFanout {
+		t.Fatal("broker lock held during fan-out: sends must happen outside the read lock")
+	}
+	if st := b.Stats(); st.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1", st.Delivered)
+	}
+}
+
 func TestConcurrentPublishRegisterUnregister(t *testing.T) {
-	// Publishers fan out under the read lock while servers churn their
-	// registrations under the write lock. Under -race this pins down that a
-	// queue close can never race a send and that the counters stay exact.
+	// Publishers snapshot the subscriber array and send outside the broker
+	// lock while servers churn their registrations under the write lock.
+	// Under -race this pins down that a queue close can never race a send —
+	// drainThenClose waits out in-flight snapshots via the epoch counters —
+	// and that the counters stay exact even when a snapshot outlives an
+	// unregistration.
 	b := NewBroker()
 	const publishers, perPublisher, churns = 8, 500, 200
+	// Widen the race window: yield every publisher between taking its
+	// snapshot and sending, so churners get every chance to close a queue
+	// that an in-flight snapshot still references. The gate protocol must
+	// hold the close back until those publishers finish.
+	publishFanoutHook = runtime.Gosched
+	defer func() { publishFanoutHook = nil }()
 	// A stable subscriber that drains continuously; registered before any
 	// publisher starts so every publish fans out to at least one queue.
 	stable := b.Register("sink", 64)
@@ -119,6 +158,18 @@ func TestConcurrentPublishRegisterUnregister(t *testing.T) {
 			default:
 			}
 			b.Unregister("churny")
+		}
+	}()
+	// A second churner re-registers under the same name, exercising the
+	// replace path (close of the displaced queue) against in-flight
+	// snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churns; i++ {
+			b.Register("flappy", 2)
+			b.Register("flappy", 2)
+			b.Unregister("flappy")
 		}
 	}()
 	wg.Wait()

@@ -1,0 +1,35 @@
+package protocol
+
+import "time"
+
+// Cost accumulates the simulated back-end service time charged to one
+// request: every DAL RPC adds its sampled service time, and data operations
+// add their data-store transfer estimates. One Cost lives for exactly one
+// request — the API server allocates it when dispatch starts and reads the
+// total when the response is written — which replaces the old convention of
+// every RPC-tier method returning a time.Duration for the caller to thread
+// by hand.
+//
+// A nil *Cost is valid and discards all charges, for callers (benchmarks,
+// calibration harnesses) that drive the RPC tier without a request context.
+// Cost is not synchronized: a request is served by one goroutine.
+type Cost struct {
+	d time.Duration
+}
+
+// Add charges d to the accumulator. Negative charges are ignored; a nil
+// receiver discards the charge.
+func (c *Cost) Add(d time.Duration) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.d += d
+}
+
+// Total returns the accumulated service time.
+func (c *Cost) Total() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.d
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"u1/internal/cow"
 	"u1/internal/dist"
 	"u1/internal/metadata"
 	"u1/internal/metrics"
@@ -147,9 +148,13 @@ type Server struct {
 	// is race-free and call() never takes a lock.
 	procRNG []*rand.Rand
 
-	observers []Observer
-	nextProc  uint64
-	procOps   []uint64 // per-process op counters (atomic)
+	// observers is copy-on-write: call() iterates a lock-free snapshot, so
+	// span emission never locks, and dynamic attach is safe mid-traffic (the
+	// trace collector hooks in while the cluster is already serving).
+	observers cow.List[Observer]
+
+	nextProc uint64
+	procOps  []uint64 // per-process op counters (atomic)
 
 	// Instrumentation handles indexed by protocol.RPC / protocol.RPCClass,
 	// resolved once so the hot call path records through plain pointers.
@@ -158,9 +163,8 @@ type Server struct {
 	rpcErrors    *metrics.Counter
 }
 
-// NewServer creates the tier. Observers must be registered before traffic
-// starts (AddObserver is not synchronized with calls, mirroring how the trace
-// collector was wired into the production processes at startup).
+// NewServer creates the tier. Observers may be registered at any time, before
+// or during traffic (AddObserver is a copy-on-write swap).
 func NewServer(store *metadata.Store, cfg Config) *Server {
 	if cfg.Procs <= 0 {
 		cfg.Procs = 48
@@ -205,8 +209,11 @@ func NewServer(store *metadata.Store, cfg Config) *Server {
 // predate the trace window, e.g. account creation).
 func (s *Server) Store() *metadata.Store { return s.store }
 
-// AddObserver registers a span observer.
-func (s *Server) AddObserver(o Observer) { s.observers = append(s.observers, o) }
+// AddObserver registers a span observer. It is safe to call while traffic is
+// in flight: the observer list is copy-on-write, so concurrent call() paths
+// keep iterating their immutable snapshot and pick up the new observer on
+// their next span.
+func (s *Server) AddObserver(o Observer) { s.observers.Add(o) }
 
 // ProcLoads returns cumulative operations per RPC worker process.
 func (s *Server) ProcLoads() []uint64 {
@@ -218,14 +225,17 @@ func (s *Server) ProcLoads() []uint64 {
 }
 
 // call wraps one store access with worker selection, latency sampling, span
-// emission and optional real sleeping. It returns the sampled service time.
-func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, err error) time.Duration {
+// emission and optional real sleeping. The sampled service time is charged to
+// the request's cost accumulator (nil discards it) instead of being returned:
+// public methods no longer hand durations back for callers to thread by hand.
+func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, cost *protocol.Cost, err error) {
 	// Modulo before the int conversion: the raw uint64 tick would convert to
 	// a negative int on 32-bit platforms (and after wraparound on 64-bit).
 	proc := int(atomic.AddUint64(&s.nextProc, 1) % uint64(len(s.procOps)))
 	atomic.AddUint64(&s.procOps[proc], 1)
 
 	service := s.cfg.Latency.Sample(s.procRNG[proc], op.Class())
+	cost.Add(service)
 
 	span := Span{
 		RPC:     op,
@@ -246,169 +256,195 @@ func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, err 
 	if err != nil {
 		s.rpcErrors.Inc()
 	}
-	for _, o := range s.observers {
+	for _, o := range s.observers.Load() {
 		o(span)
 	}
 	if s.cfg.RealSleep {
 		time.Sleep(service)
 	}
-	return service
 }
 
 // --- File-system management RPCs (Table 2, Fig. 12a) ---
+//
+// Every wrapper takes the request's cost accumulator as its last parameter
+// and charges the sampled service time there; nil discards the charge.
 
 // ListVolumes executes dal.list_volumes.
-func (s *Server) ListVolumes(user protocol.UserID, now time.Time) ([]protocol.VolumeInfo, time.Duration, error) {
+func (s *Server) ListVolumes(user protocol.UserID, now time.Time, cost *protocol.Cost) ([]protocol.VolumeInfo, error) {
 	out, err := s.store.ListVolumes(user)
-	return out, s.call(protocol.RPCListVolumes, user, now, err), err
+	s.call(protocol.RPCListVolumes, user, now, cost, err)
+	return out, err
 }
 
 // ListShares executes dal.list_shares.
-func (s *Server) ListShares(user protocol.UserID, now time.Time) ([]protocol.ShareInfo, time.Duration, error) {
+func (s *Server) ListShares(user protocol.UserID, now time.Time, cost *protocol.Cost) ([]protocol.ShareInfo, error) {
 	out, err := s.store.ListShares(user)
-	return out, s.call(protocol.RPCListShares, user, now, err), err
+	s.call(protocol.RPCListShares, user, now, cost, err)
+	return out, err
 }
 
 // MakeDir executes dal.make_dir.
-func (s *Server) MakeDir(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+func (s *Server) MakeDir(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, now time.Time, cost *protocol.Cost) (protocol.NodeInfo, error) {
 	out, err := s.store.MakeDir(user, vol, parent, name)
-	return out, s.call(protocol.RPCMakeDir, user, now, err), err
+	s.call(protocol.RPCMakeDir, user, now, cost, err)
+	return out, err
 }
 
 // MakeFile executes dal.make_file.
-func (s *Server) MakeFile(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+func (s *Server) MakeFile(user protocol.UserID, vol protocol.VolumeID, parent protocol.NodeID, name string, now time.Time, cost *protocol.Cost) (protocol.NodeInfo, error) {
 	out, err := s.store.MakeFile(user, vol, parent, name)
-	return out, s.call(protocol.RPCMakeFile, user, now, err), err
+	s.call(protocol.RPCMakeFile, user, now, cost, err)
+	return out, err
 }
 
 // Unlink executes dal.unlink_node.
-func (s *Server) Unlink(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, now time.Time) ([]protocol.NodeInfo, protocol.Generation, []protocol.Hash, time.Duration, error) {
+func (s *Server) Unlink(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, now time.Time, cost *protocol.Cost) ([]protocol.NodeInfo, protocol.Generation, []protocol.Hash, error) {
 	removed, gen, freed, err := s.store.Unlink(user, vol, node)
-	return removed, gen, freed, s.call(protocol.RPCUnlinkNode, user, now, err), err
+	s.call(protocol.RPCUnlinkNode, user, now, cost, err)
+	return removed, gen, freed, err
 }
 
 // Move executes dal.move.
-func (s *Server) Move(user protocol.UserID, vol protocol.VolumeID, node, newParent protocol.NodeID, newName string, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+func (s *Server) Move(user protocol.UserID, vol protocol.VolumeID, node, newParent protocol.NodeID, newName string, now time.Time, cost *protocol.Cost) (protocol.NodeInfo, error) {
 	out, err := s.store.Move(user, vol, node, newParent, newName)
-	return out, s.call(protocol.RPCMove, user, now, err), err
+	s.call(protocol.RPCMove, user, now, cost, err)
+	return out, err
 }
 
 // CreateUDF executes dal.create_udf.
-func (s *Server) CreateUDF(user protocol.UserID, path string, now time.Time) (protocol.VolumeInfo, time.Duration, error) {
+func (s *Server) CreateUDF(user protocol.UserID, path string, now time.Time, cost *protocol.Cost) (protocol.VolumeInfo, error) {
 	out, err := s.store.CreateUDF(user, path)
-	return out, s.call(protocol.RPCCreateUDF, user, now, err), err
+	s.call(protocol.RPCCreateUDF, user, now, cost, err)
+	return out, err
 }
 
 // DeleteVolume executes dal.delete_volume, a cascade RPC.
-func (s *Server) DeleteVolume(user protocol.UserID, vol protocol.VolumeID, now time.Time) ([]protocol.NodeInfo, []protocol.Hash, time.Duration, error) {
+func (s *Server) DeleteVolume(user protocol.UserID, vol protocol.VolumeID, now time.Time, cost *protocol.Cost) ([]protocol.NodeInfo, []protocol.Hash, error) {
 	removed, freed, err := s.store.DeleteVolume(user, vol)
-	return removed, freed, s.call(protocol.RPCDeleteVolume, user, now, err), err
+	s.call(protocol.RPCDeleteVolume, user, now, cost, err)
+	return removed, freed, err
 }
 
 // GetDelta executes dal.get_delta.
-func (s *Server) GetDelta(user protocol.UserID, vol protocol.VolumeID, from protocol.Generation, now time.Time) ([]protocol.DeltaEntry, protocol.Generation, time.Duration, error) {
+func (s *Server) GetDelta(user protocol.UserID, vol protocol.VolumeID, from protocol.Generation, now time.Time, cost *protocol.Cost) ([]protocol.DeltaEntry, protocol.Generation, error) {
 	deltas, gen, err := s.store.GetDelta(user, vol, from)
-	return deltas, gen, s.call(protocol.RPCGetDelta, user, now, err), err
+	s.call(protocol.RPCGetDelta, user, now, cost, err)
+	return deltas, gen, err
 }
 
 // GetVolume executes dal.get_volume_id.
-func (s *Server) GetVolume(user protocol.UserID, vol protocol.VolumeID, now time.Time) (protocol.VolumeInfo, time.Duration, error) {
+func (s *Server) GetVolume(user protocol.UserID, vol protocol.VolumeID, now time.Time, cost *protocol.Cost) (protocol.VolumeInfo, error) {
 	out, err := s.store.GetVolume(user, vol)
-	return out, s.call(protocol.RPCGetVolumeID, user, now, err), err
+	s.call(protocol.RPCGetVolumeID, user, now, cost, err)
+	return out, err
 }
 
 // CreateShare executes dal.create_share.
-func (s *Server) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to protocol.UserID, name string, readOnly bool, now time.Time) (protocol.ShareInfo, time.Duration, error) {
+func (s *Server) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to protocol.UserID, name string, readOnly bool, now time.Time, cost *protocol.Cost) (protocol.ShareInfo, error) {
 	out, err := s.store.CreateShare(owner, vol, to, name, readOnly)
-	return out, s.call(protocol.RPCCreateShare, owner, now, err), err
+	s.call(protocol.RPCCreateShare, owner, now, cost, err)
+	return out, err
 }
 
 // AcceptShare executes dal.accept_share.
-func (s *Server) AcceptShare(user protocol.UserID, id protocol.ShareID, now time.Time) (protocol.ShareInfo, time.Duration, error) {
+func (s *Server) AcceptShare(user protocol.UserID, id protocol.ShareID, now time.Time, cost *protocol.Cost) (protocol.ShareInfo, error) {
 	out, err := s.store.AcceptShare(user, id)
-	return out, s.call(protocol.RPCAcceptShare, user, now, err), err
+	s.call(protocol.RPCAcceptShare, user, now, cost, err)
+	return out, err
 }
 
 // --- Upload management RPCs (Table 4, Fig. 12b) ---
 
 // GetReusableContent executes dal.get_reusable_content: the dedup probe.
-func (s *Server) GetReusableContent(user protocol.UserID, h protocol.Hash, now time.Time) (size uint64, exists bool, d time.Duration, err error) {
+func (s *Server) GetReusableContent(user protocol.UserID, h protocol.Hash, now time.Time, cost *protocol.Cost) (size uint64, exists bool, err error) {
 	size, exists, err = s.store.LookupContent(h)
-	return size, exists, s.call(protocol.RPCGetReusableContent, user, now, err), err
+	s.call(protocol.RPCGetReusableContent, user, now, cost, err)
+	return size, exists, err
 }
 
 // MakeContent executes dal.make_content.
-func (s *Server) MakeContent(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64, now time.Time) (protocol.NodeInfo, *protocol.Hash, bool, time.Duration, error) {
+func (s *Server) MakeContent(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64, now time.Time, cost *protocol.Cost) (protocol.NodeInfo, *protocol.Hash, bool, error) {
 	info, freed, wasUpdate, err := s.store.MakeContent(user, vol, node, h, size)
-	return info, freed, wasUpdate, s.call(protocol.RPCMakeContent, user, now, err), err
+	s.call(protocol.RPCMakeContent, user, now, cost, err)
+	return info, freed, wasUpdate, err
 }
 
 // MakeUploadJob executes dal.make_uploadjob.
-func (s *Server) MakeUploadJob(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64, now time.Time) (*metadata.UploadJob, time.Duration, error) {
+func (s *Server) MakeUploadJob(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, h protocol.Hash, size uint64, now time.Time, cost *protocol.Cost) (*metadata.UploadJob, error) {
 	job, err := s.store.MakeUploadJob(user, vol, node, h, size, now)
-	return job, s.call(protocol.RPCMakeUploadJob, user, now, err), err
+	s.call(protocol.RPCMakeUploadJob, user, now, cost, err)
+	return job, err
 }
 
 // GetUploadJob executes dal.get_uploadjob.
-func (s *Server) GetUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time) (*metadata.UploadJob, time.Duration, error) {
+func (s *Server) GetUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time, cost *protocol.Cost) (*metadata.UploadJob, error) {
 	job, err := s.store.GetUploadJob(user, id)
-	return job, s.call(protocol.RPCGetUploadJob, user, now, err), err
+	s.call(protocol.RPCGetUploadJob, user, now, cost, err)
+	return job, err
 }
 
 // SetUploadJobMultipartID executes dal.set_uploadjob_multipart_id.
-func (s *Server) SetUploadJobMultipartID(user protocol.UserID, id protocol.UploadID, multipartID string, now time.Time) (time.Duration, error) {
+func (s *Server) SetUploadJobMultipartID(user protocol.UserID, id protocol.UploadID, multipartID string, now time.Time, cost *protocol.Cost) error {
 	err := s.store.SetUploadJobMultipartID(user, id, multipartID)
-	return s.call(protocol.RPCSetUploadJobMultipartID, user, now, err), err
+	s.call(protocol.RPCSetUploadJobMultipartID, user, now, cost, err)
+	return err
 }
 
 // AddPartToUploadJob executes dal.add_part_to_uploadjob.
-func (s *Server) AddPartToUploadJob(user protocol.UserID, id protocol.UploadID, partBytes uint64, now time.Time) (*metadata.UploadJob, time.Duration, error) {
+func (s *Server) AddPartToUploadJob(user protocol.UserID, id protocol.UploadID, partBytes uint64, now time.Time, cost *protocol.Cost) (*metadata.UploadJob, error) {
 	job, err := s.store.AddPartToUploadJob(user, id, partBytes, now)
-	return job, s.call(protocol.RPCAddPartToUploadJob, user, now, err), err
+	s.call(protocol.RPCAddPartToUploadJob, user, now, cost, err)
+	return job, err
 }
 
 // TouchUploadJob executes dal.touch_uploadjob.
-func (s *Server) TouchUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time) (expired bool, d time.Duration, err error) {
+func (s *Server) TouchUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time, cost *protocol.Cost) (expired bool, err error) {
 	expired, err = s.store.TouchUploadJob(user, id, now)
-	return expired, s.call(protocol.RPCTouchUploadJob, user, now, err), err
+	s.call(protocol.RPCTouchUploadJob, user, now, cost, err)
+	return expired, err
 }
 
 // DeleteUploadJob executes dal.delete_uploadjob.
-func (s *Server) DeleteUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time) (time.Duration, error) {
+func (s *Server) DeleteUploadJob(user protocol.UserID, id protocol.UploadID, now time.Time, cost *protocol.Cost) error {
 	err := s.store.DeleteUploadJob(user, id)
-	return s.call(protocol.RPCDeleteUploadJob, user, now, err), err
+	s.call(protocol.RPCDeleteUploadJob, user, now, cost, err)
+	return err
 }
 
 // --- Other read-only RPCs (Fig. 12c) ---
 
 // GetFromScratch executes dal.get_from_scratch, the cascade full-volume read.
-func (s *Server) GetFromScratch(user protocol.UserID, vol protocol.VolumeID, now time.Time) ([]protocol.NodeInfo, protocol.Generation, time.Duration, error) {
+func (s *Server) GetFromScratch(user protocol.UserID, vol protocol.VolumeID, now time.Time, cost *protocol.Cost) ([]protocol.NodeInfo, protocol.Generation, error) {
 	nodes, gen, err := s.store.GetFromScratch(user, vol)
-	return nodes, gen, s.call(protocol.RPCGetFromScratch, user, now, err), err
+	s.call(protocol.RPCGetFromScratch, user, now, cost, err)
+	return nodes, gen, err
 }
 
 // GetNode executes dal.get_node.
-func (s *Server) GetNode(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+func (s *Server) GetNode(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID, now time.Time, cost *protocol.Cost) (protocol.NodeInfo, error) {
 	out, err := s.store.GetNode(user, vol, node)
-	return out, s.call(protocol.RPCGetNode, user, now, err), err
+	s.call(protocol.RPCGetNode, user, now, cost, err)
+	return out, err
 }
 
 // GetRoot executes dal.get_root.
-func (s *Server) GetRoot(user protocol.UserID, now time.Time) (protocol.NodeInfo, time.Duration, error) {
+func (s *Server) GetRoot(user protocol.UserID, now time.Time, cost *protocol.Cost) (protocol.NodeInfo, error) {
 	out, err := s.store.GetRoot(user)
-	return out, s.call(protocol.RPCGetRoot, user, now, err), err
+	s.call(protocol.RPCGetRoot, user, now, cost, err)
+	return out, err
 }
 
 // GetUserData executes dal.get_user_data.
-func (s *Server) GetUserData(user protocol.UserID, now time.Time) (metadata.UserData, time.Duration, error) {
+func (s *Server) GetUserData(user protocol.UserID, now time.Time, cost *protocol.Cost) (metadata.UserData, error) {
 	out, err := s.store.GetUserData(user)
-	return out, s.call(protocol.RPCGetUserData, user, now, err), err
+	s.call(protocol.RPCGetUserData, user, now, cost, err)
+	return out, err
 }
 
 // ObserveAuth emits the span for auth.get_user_id_from_token, which the
 // paper's Fig. 12c groups with the metadata RPCs even though the lookup runs
 // against the separate authentication service. The API server performs the
 // lookup and reports its outcome here.
-func (s *Server) ObserveAuth(user protocol.UserID, now time.Time, err error) time.Duration {
-	return s.call(protocol.RPCGetUserIDFromToken, user, now, err)
+func (s *Server) ObserveAuth(user protocol.UserID, now time.Time, err error, cost *protocol.Cost) {
+	s.call(protocol.RPCGetUserIDFromToken, user, now, cost, err)
 }

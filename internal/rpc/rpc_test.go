@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -30,10 +31,10 @@ func TestSpansEmitted(t *testing.T) {
 	var spans []Span
 	s.AddObserver(func(sp Span) { spans = append(spans, sp) })
 
-	if _, _, err := s.MakeFile(1, root.ID, 0, "a.txt", t0); err != nil {
+	if _, err := s.MakeFile(1, root.ID, 0, "a.txt", t0, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.ListVolumes(1, t0.Add(time.Second)); err != nil {
+	if _, err := s.ListVolumes(1, t0.Add(time.Second), nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(spans) != 2 {
@@ -57,7 +58,7 @@ func TestSpanCarriesError(t *testing.T) {
 	s, root := newTier(t)
 	var last Span
 	s.AddObserver(func(sp Span) { last = sp })
-	_, _, err := s.GetNode(1, root.ID, 9999, t0)
+	_, err := s.GetNode(1, root.ID, 9999, t0, nil)
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -115,38 +116,42 @@ func TestUploadJobRPCFlow(t *testing.T) {
 	var rpcs []protocol.RPC
 	s.AddObserver(func(sp Span) { rpcs = append(rpcs, sp.RPC) })
 
-	f, _, err := s.MakeFile(1, root.ID, 0, "big.bin", t0)
+	var cost protocol.Cost
+	f, err := s.MakeFile(1, root.ID, 0, "big.bin", t0, &cost)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h := protocol.HashBytes([]byte("big"))
-	if _, exists, _, _ := s.GetReusableContent(1, h, t0); exists {
+	if _, exists, _ := s.GetReusableContent(1, h, t0, &cost); exists {
 		t.Fatal("content should not exist")
 	}
-	job, _, err := s.MakeUploadJob(1, root.ID, f.ID, h, 10<<20, t0)
+	job, err := s.MakeUploadJob(1, root.ID, f.ID, h, 10<<20, t0, &cost)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.SetUploadJobMultipartID(1, job.ID, "mp-1", t0); err != nil {
+	if err := s.SetUploadJobMultipartID(1, job.ID, "mp-1", t0, &cost); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.AddPartToUploadJob(1, job.ID, 5<<20, t0); err != nil {
+	if _, err := s.AddPartToUploadJob(1, job.ID, 5<<20, t0, &cost); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.AddPartToUploadJob(1, job.ID, 5<<20, t0); err != nil {
+	if _, err := s.AddPartToUploadJob(1, job.ID, 5<<20, t0, &cost); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.GetUploadJob(1, job.ID, t0); err != nil {
+	if _, err := s.GetUploadJob(1, job.ID, t0, &cost); err != nil {
 		t.Fatal(err)
 	}
-	if expired, _, err := s.TouchUploadJob(1, job.ID, t0.Add(time.Minute)); err != nil || expired {
+	if expired, err := s.TouchUploadJob(1, job.ID, t0.Add(time.Minute), &cost); err != nil || expired {
 		t.Fatalf("touch: %v %v", expired, err)
 	}
-	if _, _, _, _, err := s.MakeContent(1, root.ID, f.ID, h, 10<<20, t0); err != nil {
+	if _, _, _, err := s.MakeContent(1, root.ID, f.ID, h, 10<<20, t0, &cost); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.DeleteUploadJob(1, job.ID, t0); err != nil {
+	if err := s.DeleteUploadJob(1, job.ID, t0, &cost); err != nil {
 		t.Fatal(err)
+	}
+	if cost.Total() <= 0 {
+		t.Error("lifecycle RPCs must charge the request's cost accumulator")
 	}
 
 	// The emitted RPC sequence matches the appendix-A lifecycle.
@@ -178,7 +183,7 @@ func TestProcLoadDistribution(t *testing.T) {
 	rootVols, _ := store.ListVolumes(1)
 	s := NewServer(store, Config{Procs: 4, Seed: 3})
 	for i := 0; i < 100; i++ {
-		s.GetVolume(1, rootVols[0].ID, t0)
+		s.GetVolume(1, rootVols[0].ID, t0, nil)
 	}
 	loads := s.ProcLoads()
 	var total uint64
@@ -210,7 +215,7 @@ func TestConcurrentCalls(t *testing.T) {
 		go func(u protocol.UserID) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				s.ListVolumes(u, t0)
+				s.ListVolumes(u, t0, nil)
 			}
 		}(u)
 	}
@@ -224,9 +229,10 @@ func TestObserveAuth(t *testing.T) {
 	s, _ := newTier(t)
 	var last Span
 	s.AddObserver(func(sp Span) { last = sp })
-	d := s.ObserveAuth(1, t0, nil)
-	if d <= 0 || last.RPC != protocol.RPCGetUserIDFromToken {
-		t.Errorf("auth span = %+v, dur %v", last, d)
+	var cost protocol.Cost
+	s.ObserveAuth(1, t0, nil, &cost)
+	if cost.Total() <= 0 || last.RPC != protocol.RPCGetUserIDFromToken {
+		t.Errorf("auth span = %+v, cost %v", last, cost.Total())
 	}
 	if last.Class != protocol.ClassRead {
 		t.Errorf("auth class = %v", last.Class)
@@ -239,7 +245,7 @@ func TestRealSleep(t *testing.T) {
 	fixed := fixedLatency(2 * time.Millisecond)
 	s := NewServer(store, Config{RealSleep: true, Latency: fixed, Seed: 1})
 	start := time.Now()
-	s.ListVolumes(1, t0)
+	s.ListVolumes(1, t0, nil)
 	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
 		t.Errorf("call returned in %v, want ≥ 2ms", elapsed)
 	}
@@ -262,14 +268,14 @@ func TestGetReusableContentErrorReachesSpan(t *testing.T) {
 	var last Span
 	s.AddObserver(func(sp Span) { last = sp })
 
-	if _, _, _, err := s.GetReusableContent(1, protocol.HashBytes([]byte("x")), t0); err != nil {
+	if _, _, err := s.GetReusableContent(1, protocol.HashBytes([]byte("x")), t0, nil); err != nil {
 		t.Fatalf("probe of absent content: %v", err)
 	}
 	if last.Err != nil {
 		t.Errorf("absent content is not an error, span carries %v", last.Err)
 	}
 
-	_, _, _, err := s.GetReusableContent(1, protocol.Hash{}, t0)
+	_, _, err := s.GetReusableContent(1, protocol.Hash{}, t0, nil)
 	if !errors.Is(err, protocol.ErrBadRequest) {
 		t.Fatalf("zero-hash probe: err = %v, want ErrBadRequest", err)
 	}
@@ -285,13 +291,18 @@ func TestPerWorkerSamplingDeterminism(t *testing.T) {
 	// Same Seed + same Procs ⇒ the same service-time stream per worker.
 	// Single-goroutine traffic maps call i to worker i%Procs round-robin, so
 	// two identically configured tiers must sample identical durations.
+	sampleOne := func(s *Server) time.Duration {
+		var c protocol.Cost
+		s.ObserveAuth(1, t0, nil, &c)
+		return c.Total()
+	}
 	run := func() []time.Duration {
 		store := metadata.New(metadata.Config{Shards: 4})
 		store.CreateUser(1)
 		s := NewServer(store, Config{Procs: 4, Seed: 77})
 		out := make([]time.Duration, 64)
 		for i := range out {
-			out[i] = s.ObserveAuth(1, t0, nil)
+			out[i] = sampleOne(s)
 		}
 		return out
 	}
@@ -307,7 +318,7 @@ func TestPerWorkerSamplingDeterminism(t *testing.T) {
 	s2 := NewServer(store, Config{Procs: 4, Seed: 78})
 	var same int
 	for i := 0; i < 64; i++ {
-		if s2.ObserveAuth(1, t0, nil) == a[i] {
+		if sampleOne(s2) == a[i] {
 			same++
 		}
 	}
@@ -330,7 +341,9 @@ func TestParallelSampling(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if d := s.ObserveAuth(1, t0, nil); d <= 0 {
+				var c protocol.Cost
+				s.ObserveAuth(1, t0, nil, &c)
+				if c.Total() <= 0 {
 					t.Error("non-positive service time")
 					return
 				}
@@ -344,5 +357,43 @@ func TestParallelSampling(t *testing.T) {
 	}
 	if total != goroutines*per {
 		t.Errorf("proc ops total = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestDynamicObserverAttach(t *testing.T) {
+	// AddObserver is copy-on-write: attaching observers while calls are in
+	// flight must be race-free (run under -race), and an observer attached
+	// mid-traffic must start seeing spans. This is the dynamic trace-collector
+	// attach the production deployment could not do.
+	store := metadata.New(metadata.Config{Shards: 4})
+	store.CreateUser(1)
+	s := NewServer(store, Config{Procs: 4, Seed: 6})
+
+	const callers, per, observers = 8, 300, 16
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.ObserveAuth(1, t0, nil, nil)
+			}
+		}()
+	}
+	counts := make([]atomic.Uint64, observers)
+	for i := 0; i < observers; i++ {
+		i := i
+		s.AddObserver(func(Span) { counts[i].Add(1) })
+	}
+	wg.Wait()
+
+	// Every observer sees all spans emitted after its attachment; the last
+	// few attach while traffic is in flight, so only a final quiescent call
+	// is guaranteed to reach them all.
+	s.ObserveAuth(1, t0, nil, nil)
+	for i := range counts {
+		if counts[i].Load() == 0 {
+			t.Errorf("observer %d attached mid-traffic saw no spans", i)
+		}
 	}
 }

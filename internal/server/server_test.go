@@ -230,6 +230,63 @@ func TestTCPAuthRejected(t *testing.T) {
 	}
 }
 
+// TestTCPReauthRejected pins the one-session-per-connection rule on the wire
+// path: a second Authenticate frame on a live connection is a protocol
+// violation, not a silent session replacement (which would leak the first
+// session until the weekly sweep).
+func TestTCPReauthRejected(t *testing.T) {
+	tc, c := newTCPCluster(t)
+	token, err := tc.Auth.Issue(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := client.DialTCP(tc.GateAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cl := client.New(tr)
+	if err := cl.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Connect(token); err == nil {
+		t.Fatal("re-auth on a live connection must be rejected")
+	}
+	var sessions int
+	for _, s := range c.Servers {
+		sessions += s.SessionCount()
+	}
+	if sessions != 1 {
+		t.Errorf("sessions after rejected re-auth = %d, want 1", sessions)
+	}
+}
+
+// TestDirectReconnectClosesPreviousSession pins the direct transport's
+// reconnect semantics: authenticating again on the same transport models a
+// dropped-and-redialed desktop client, so the previous session must be
+// closed server-side, not leaked.
+func TestDirectReconnectClosesPreviousSession(t *testing.T) {
+	c := NewCluster(Config{Machines: []string{"solo"}, Shards: 2, Seed: 5})
+	token, err := c.Auth.Issue(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(client.NewDirectTransport(c.LeastLoaded, nil))
+	if err := cl.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Connect(token); err != nil {
+		t.Fatalf("reconnect without disconnect: %v", err)
+	}
+	if n := c.Servers[0].SessionCount(); n != 1 {
+		t.Errorf("sessions after reconnect = %d, want 1 (previous session leaked)", n)
+	}
+	cl.Close()
+	if n := c.Servers[0].SessionCount(); n != 0 {
+		t.Errorf("sessions after close = %d, want 0", n)
+	}
+}
+
 func TestTCPSessionsSpreadAcrossServers(t *testing.T) {
 	tc, c := newTCPCluster(t)
 	for u := protocol.UserID(100); u < 106; u++ {

@@ -3,10 +3,15 @@ package trace
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"u1/internal/apiserver"
+	"u1/internal/auth"
+	"u1/internal/blob"
+	"u1/internal/metadata"
+	"u1/internal/notify"
 	"u1/internal/protocol"
 	"u1/internal/rpc"
 )
@@ -221,5 +226,68 @@ func TestExtTableOverflow(t *testing.T) {
 	// The table holds at most 255 entries; overflow folds to index 0.
 	if got := len(c.Extensions()); got > 255 {
 		t.Errorf("extension table = %d entries", got)
+	}
+}
+
+// TestDynamicCollectorAttach attaches the trace collector to a live API
+// server and RPC tier while traffic is in flight. Both observer lists are
+// copy-on-write, so the attach must be race-free (run under -race) and the
+// collector must start accumulating records mid-stream — the dynamic
+// attach/detach the registration-before-traffic seed could not do.
+func TestDynamicCollectorAttach(t *testing.T) {
+	store := metadata.New(metadata.Config{Shards: 4})
+	rpcTier := rpc.NewServer(store, rpc.Config{Seed: 3})
+	authSvc := auth.New(auth.Config{Seed: 3})
+	srv := apiserver.New(apiserver.Config{Name: "m", Procs: 2}, apiserver.Deps{
+		RPC:      rpcTier,
+		Auth:     authSvc,
+		Blob:     blob.New(blob.Config{}),
+		Broker:   notify.NewBroker(),
+		Transfer: blob.DefaultTransferModel(),
+	})
+
+	const workers, per = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			token, err := authSvc.Issue(protocol.UserID(w + 1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sess, resp, _ := srv.OpenSession(token, nil, t0)
+			if resp.Status != protocol.StatusOK {
+				t.Errorf("open session: %v", resp.Status)
+				return
+			}
+			for i := 0; i < per; i++ {
+				srv.Handle(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0)
+			}
+			srv.CloseSession(sess, t0)
+		}(w)
+	}
+
+	// Attach the collector mid-traffic, then drive guaranteed post-attach
+	// operations through a fresh session.
+	col := NewCollector(Config{Start: t0, Days: 1, KeepRPCRecords: true})
+	srv.AddObserver(col.APIObserver())
+	rpcTier.AddObserver(col.RPCObserver())
+	wg.Wait()
+
+	token, err := authSvc.Issue(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _, _ := srv.OpenSession(token, nil, t0)
+	srv.Handle(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0)
+	srv.CloseSession(sess, t0)
+
+	if col.Len() == 0 {
+		t.Error("collector attached mid-traffic recorded no API events")
+	}
+	if len(col.RPCRecords()) == 0 {
+		t.Error("collector attached mid-traffic recorded no RPC spans")
 	}
 }
