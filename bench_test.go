@@ -27,7 +27,6 @@ import (
 	"u1/internal/protocol"
 	"u1/internal/rpc"
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/wire"
 	"u1/internal/workload"
@@ -67,14 +66,13 @@ func benchTrace(b *testing.B) (*analysis.Trace, *analysis.Trace) {
 		})
 		cluster.AddAPIObserver(col.APIObserver())
 		cluster.AddRPCObserver(col.RPCObserver())
-		eng := sim.New(workload.PaperStart)
 		genStart := time.Now()
 		workload.New(workload.Config{
 			Users: users, Days: days, Seed: 2,
 			Attacks: []workload.Attack{
 				{Day: 2, Hour: 13, Duration: 2 * time.Hour, APIFactor: 60, AuthFactor: 10},
 			},
-		}, cluster, eng).Run()
+		}, cluster).Run()
 		benchGenWall = time.Since(genStart)
 		benchCluster = cluster
 		benchUsers, benchDays = users, days
@@ -356,30 +354,42 @@ func BenchmarkWhatIf(b *testing.B) {
 	b.ReportMetric(100*w.CacheHitRate, "cache_hit_%")
 }
 
-// BenchmarkTraceGeneration measures the end-to-end simulator throughput:
-// events (API ops, RPCs, session machinery) per wall second.
-func BenchmarkTraceGeneration(b *testing.B) {
+// benchGeneration measures the end-to-end simulator throughput — events
+// (API ops, RPCs, session machinery) per wall second — at the given
+// generator shard count (0 = GOMAXPROCS).
+func benchGeneration(b *testing.B, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		cluster := server.NewCluster(server.Config{Seed: int64(i) + 10})
-		eng := sim.New(workload.PaperStart)
 		g := workload.New(workload.Config{
-			Users: 150, Days: 3, Seed: int64(i) + 10,
+			Users: 150, Days: 3, Seed: int64(i) + 10, Workers: workers,
 			Attacks: []workload.Attack{},
-		}, cluster, eng)
+		}, cluster)
 		g.Run()
-		b.ReportMetric(float64(eng.Executed()), "events")
+		b.ReportMetric(float64(g.Engine().Executed()), "events")
+		b.ReportMetric(float64(g.Engine().NumShards()), "shards")
 	}
 }
+
+// BenchmarkTraceGeneration runs one generator shard per core (so it honors
+// -cpu: `go test -bench TraceGeneration -cpu 1,4` is the serial-vs-parallel
+// comparison CI smokes). On ≥4 cores the per-core rate must beat
+// BenchmarkTraceGenerationSerial.
+func BenchmarkTraceGeneration(b *testing.B) { benchGeneration(b, 0) }
+
+// BenchmarkTraceGenerationSerial pins Workers=1: the bit-for-bit serial
+// stream, the baseline the generator section of BENCH_4.json records.
+func BenchmarkTraceGenerationSerial(b *testing.B) { benchGeneration(b, 1) }
 
 // BenchmarkObservability snapshots the live metrics registry of the shared
 // bench cluster, derives the machine-readable benchmark report (ops/sec,
 // per-op p50/p95/p99 latency, shard balance, contended hot-path throughput)
-// and writes it to BENCH_3.json (override with U1_BENCH_OUT, empty disables)
+// and writes it to BENCH_4.json (override with U1_BENCH_OUT, empty disables)
 // — the artifact the CI bench-smoke job archives as the repo's perf
 // trajectory and diffs against the committed previous report.
 func BenchmarkObservability(b *testing.B) {
 	benchTrace(b)
-	out := "BENCH_3.json"
+	out := "BENCH_4.json"
 	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
 		out = v
 	}
@@ -393,6 +403,10 @@ func BenchmarkObservability(b *testing.B) {
 	for name, st := range rep.HotPaths {
 		b.ReportMetric(st.ParallelOpsPerSec, name+"_par_ops/s")
 	}
+	gen := hotpath.MeasureGenerator(0, 0)
+	rep.Generator = &gen
+	b.ReportMetric(gen.SerialEventsPerSec, "gen_serial_events/s")
+	b.ReportMetric(gen.ParallelEventsPerSec, "gen_par_events/s")
 	if rep.TotalOps == 0 {
 		b.Fatal("metrics registry recorded no operations")
 	}
@@ -408,11 +422,14 @@ func BenchmarkObservability(b *testing.B) {
 			b.Fatalf("op %s has degenerate quantiles: %+v", op, st)
 		}
 	}
-	for _, path := range []string{hotpath.RPCCall, hotpath.NotifyPublish, hotpath.GatewayPlace} {
+	for _, path := range []string{hotpath.RPCCall, hotpath.NotifyPublish, hotpath.GatewayPlace, hotpath.GatewayPlaceSharded} {
 		st, ok := rep.HotPaths[path]
 		if !ok || st.ParallelOpsPerSec <= 0 {
 			b.Fatalf("hot path %s missing from report: %+v", path, st)
 		}
+	}
+	if rep.Generator == nil || rep.Generator.SerialEventsPerSec <= 0 || rep.Generator.ParallelEventsPerSec <= 0 {
+		b.Fatalf("generator section missing from report: %+v", rep.Generator)
 	}
 	b.ReportMetric(rep.OpsPerSec, "ops/s")
 	b.ReportMetric(float64(rep.TotalOps), "total_ops")
@@ -564,12 +581,32 @@ func BenchmarkHotPathParallelBalancer(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			name, err := bal.Acquire()
+			lease, err := bal.Acquire()
 			if err != nil {
 				b.Error(err)
 				return
 			}
-			bal.Release(name)
+			bal.Release(lease)
+		}
+	})
+}
+
+// BenchmarkHotPathParallelShardedBalancer contends the power-of-two-choices
+// balancer in exactly the configuration hotpath.Measure records into the
+// BENCH_*.json hot-path section (shared fixture, so the two numbers stay
+// comparable).
+func BenchmarkHotPathParallelShardedBalancer(b *testing.B) {
+	bal := gateway.NewShardedBalancer(hotpath.ShardedBalancerShards, hotpath.ShardedBalancerFleet()...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lease, err := bal.Acquire()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			bal.Release(lease)
 		}
 	})
 }

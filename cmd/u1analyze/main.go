@@ -16,7 +16,6 @@ import (
 
 	"u1/internal/analysis"
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/workload"
 )
@@ -34,6 +33,7 @@ func main() {
 	users := flag.Int("users", 1000, "population size when generating")
 	days := flag.Int("days", 14, "trace window in days")
 	seed := flag.Int64("seed", 1, "random seed when generating")
+	workers := flag.Int("workers", 0, "parallel generator shards when generating (0 = GOMAXPROCS)")
 	all := flag.Bool("all", false, "print every figure and table")
 	var figs, tables listFlag
 	flag.Var(&figs, "fig", "figure to print (2a 2b 2c 3a 3b 3c 4a 4b 4c 5 6 7a 7b 7c 8 9 10 11 12 13 14 15 16); repeatable")
@@ -56,8 +56,7 @@ func main() {
 		})
 		cluster.AddAPIObserver(col.APIObserver())
 		cluster.AddRPCObserver(col.RPCObserver())
-		eng := sim.New(workload.PaperStart)
-		workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed}, cluster, eng).Run()
+		workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed, Workers: *workers}, cluster).Run()
 		t = analysis.FromCollector(col, workload.PaperStart, *days)
 	}
 	clean := t.Sanitize()

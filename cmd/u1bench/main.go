@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	u1bench [-users 2000] [-days 30] [-seed 1] [-bench-out BENCH_3.json]
+//	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0] [-bench-out BENCH_4.json]
 package main
 
 import (
@@ -19,7 +19,6 @@ import (
 	"u1/internal/hotpath"
 	"u1/internal/metrics"
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/workload"
 )
@@ -28,7 +27,8 @@ func main() {
 	users := flag.Int("users", 2000, "population size (paper: 1.29M)")
 	days := flag.Int("days", 30, "trace window in days (paper: 30)")
 	seed := flag.Int64("seed", 1, "random seed")
-	benchOut := flag.String("bench-out", "BENCH_3.json", "benchmark report path (empty to skip)")
+	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
+	benchOut := flag.String("bench-out", "BENCH_4.json", "benchmark report path (empty to skip)")
 	flag.Parse()
 
 	start := time.Now()
@@ -39,11 +39,10 @@ func main() {
 	})
 	cluster.AddAPIObserver(col.APIObserver())
 	cluster.AddRPCObserver(col.RPCObserver())
-	eng := sim.New(workload.PaperStart)
 	// Stamp generation time around Run only, matching bench_test.go so the
 	// two producers of the u1-bench/1 schema report commensurable ops/sec.
 	genStart := time.Now()
-	workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed}, cluster, eng).Run()
+	workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed, Workers: *workers}, cluster).Run()
 	genWall := time.Since(genStart)
 	t := analysis.FromCollector(col, workload.PaperStart, *days)
 	clean := t.Sanitize()
@@ -183,15 +182,25 @@ func main() {
 	fmt.Printf("shard balance: reads %v writes %v (CV %.3f)\n", rep.Shards.Reads, rep.Shards.Writes, rep.Shards.CV)
 
 	// Contended hot-path calibration: serial vs parallel ops/sec on the
-	// three per-request structures. Speedup > 1 at multiple cores is the
+	// per-request structures. Speedup > 1 at multiple cores is the
 	// de-serialization win this report exists to track.
 	rep.HotPaths = hotpath.Measure(0)
 	fmt.Printf("\n== hot paths (parallel workers: %d) ==\n", rep.HotPaths[hotpath.RPCCall].Workers)
-	fmt.Printf("%-26s %14s %14s %8s\n", "path", "serial_ops/s", "parallel_ops/s", "speedup")
-	for _, path := range []string{hotpath.RPCCall, hotpath.NotifyPublish, hotpath.GatewayPlace} {
+	fmt.Printf("%-34s %14s %14s %8s\n", "path", "serial_ops/s", "parallel_ops/s", "speedup")
+	for _, path := range []string{hotpath.RPCCall, hotpath.NotifyPublish, hotpath.GatewayPlace, hotpath.GatewayPlaceSharded} {
 		st := rep.HotPaths[path]
-		fmt.Printf("%-26s %14.0f %14.0f %7.2fx\n", path, st.SerialOpsPerSec, st.ParallelOpsPerSec, st.Speedup)
+		fmt.Printf("%-34s %14.0f %14.0f %7.2fx\n", path, st.SerialOpsPerSec, st.ParallelOpsPerSec, st.Speedup)
 	}
+
+	// Generator scaling: end-to-end trace generation with one shard vs one
+	// shard per core — the throughput unlock of the sharded simulation
+	// substrate, recorded in the report's generator section.
+	gen := hotpath.MeasureGenerator(0, 0)
+	rep.Generator = &gen
+	fmt.Printf("\n== generator (sharded simulation, %d workers, %d users x %d days) ==\n",
+		gen.Workers, gen.Users, gen.Days)
+	fmt.Printf("serial %0.f events/s, parallel %0.f events/s, speedup %.2fx\n",
+		gen.SerialEventsPerSec, gen.ParallelEventsPerSec, gen.Speedup)
 
 	if *benchOut != "" {
 		if err := metrics.WriteBenchReport(*benchOut, rep); err != nil {

@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/workload"
 )
@@ -30,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "trace", "output directory for logfiles")
 	noAttacks := flag.Bool("no-attacks", false, "disable the three DDoS events")
+	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	keepRPC := flag.Bool("rpc", false, "also write rpc span records (large)")
 	flag.Parse()
 
@@ -45,14 +45,15 @@ func main() {
 	cluster.AddAPIObserver(col.APIObserver())
 	cluster.AddRPCObserver(col.RPCObserver())
 
-	eng := sim.New(workload.PaperStart)
-	cfg := workload.Config{Users: *users, Days: *days, Seed: *seed}
+	cfg := workload.Config{Users: *users, Days: *days, Seed: *seed, Workers: *workers}
 	if *noAttacks {
 		cfg.Attacks = []workload.Attack{}
 	}
-	totals := workload.New(cfg, cluster, eng).Run()
+	g := workload.New(cfg, cluster)
+	totals := g.Run()
 
-	fmt.Printf("generated %d records in %v (%d events)\n", col.Len(), time.Since(start).Round(time.Millisecond), eng.Executed())
+	fmt.Printf("generated %d records in %v (%d events on %d shards)\n", col.Len(),
+		time.Since(start).Round(time.Millisecond), g.Engine().Executed(), g.Engine().NumShards())
 	fmt.Printf("totals: %d sessions, %d uploads, %d downloads, %d deletes, %d attack sessions\n",
 		totals.Sessions, totals.Uploads, totals.Downloads, totals.Deletes, totals.AttackSessions)
 

@@ -11,7 +11,6 @@ import (
 
 	"u1/internal/analysis"
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/workload"
 )
@@ -28,7 +27,6 @@ func main() {
 	cluster.AddAPIObserver(col.APIObserver())
 	cluster.AddRPCObserver(col.RPCObserver())
 
-	eng := sim.New(workload.PaperStart)
 	totals := workload.New(workload.Config{
 		Users: users, Days: days, Seed: 11,
 		Attacks: []workload.Attack{
@@ -36,7 +34,7 @@ func main() {
 			// magnitude above baseline for two hours.
 			{Day: 1, Hour: 13, Duration: 2 * time.Hour, APIFactor: 150, AuthFactor: 12},
 		},
-	}, cluster, eng).Run()
+	}, cluster).Run()
 	fmt.Printf("simulated %d users for %d days; %d attack sessions ran\n\n",
 		users, days, totals.AttackSessions)
 

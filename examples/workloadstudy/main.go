@@ -10,7 +10,6 @@ import (
 
 	"u1/internal/analysis"
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/workload"
 )
@@ -27,12 +26,11 @@ func main() {
 	cluster.AddAPIObserver(col.APIObserver())
 	cluster.AddRPCObserver(col.RPCObserver())
 
-	eng := sim.New(workload.PaperStart)
 	start := time.Now()
 	totals := workload.New(workload.Config{
 		Users: users, Days: days, Seed: 3,
 		Attacks: []workload.Attack{}, // a clean week; see examples/ddosdrill
-	}, cluster, eng).Run()
+	}, cluster).Run()
 	fmt.Printf("simulated %d users for %d days in %v: %d sessions, %d uploads, %d downloads\n\n",
 		users, days, time.Since(start).Round(time.Millisecond),
 		totals.Sessions, totals.Uploads, totals.Downloads)

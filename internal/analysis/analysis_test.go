@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 	"u1/internal/workload"
 )
@@ -35,13 +34,15 @@ func testTrace(t *testing.T) *Trace {
 		})
 		cluster.AddAPIObserver(col.APIObserver())
 		cluster.AddRPCObserver(col.RPCObserver())
-		eng := sim.New(workload.PaperStart)
+		// Workers pinned to 1: the calibration bands below are defined
+		// against the serial stream; parallel-shard determinism has its own
+		// coverage in internal/workload.
 		g := workload.New(workload.Config{
-			Users: users, Days: days, Start: workload.PaperStart, Seed: 7,
+			Users: users, Days: days, Start: workload.PaperStart, Seed: 7, Workers: 1,
 			Attacks: []workload.Attack{
 				{Day: 3, Hour: 13, Duration: 2 * time.Hour, APIFactor: 40, AuthFactor: 8},
 			},
-		}, cluster, eng)
+		}, cluster)
 		g.Run()
 		cachedTrace = FromCollector(col, workload.PaperStart, days)
 	})

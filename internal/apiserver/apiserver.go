@@ -239,6 +239,12 @@ func (s *Server) record(op protocol.Op, dur time.Duration, status protocol.Statu
 // Name returns the server's machine name.
 func (s *Server) Name() string { return s.cfg.Name }
 
+// DropToken evicts a token from this server's validation cache. Operators
+// call it fleet-wide when revoking credentials (§5.4): without the flush, a
+// revoked token would keep authenticating on servers with a warm cache for
+// up to the cache TTL.
+func (s *Server) DropToken(token string) { s.tokens.Drop(token) }
+
 // AddObserver registers an API event observer. It is safe to call while
 // traffic is in flight: the observer list is copy-on-write, so concurrent
 // emits keep iterating their immutable snapshot and pick up the new observer

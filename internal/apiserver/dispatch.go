@@ -1,6 +1,7 @@
 package apiserver
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,16 @@ type OpContext struct {
 	// Pusher is the client push channel offered during Authenticate; unused
 	// by every other operation.
 	Pusher Pusher
+
+	// Deadline, when non-zero, is the virtual instant past which the request
+	// must not start: the cancel interceptor rejects it with ErrCancelled
+	// before the handler runs. Zero means no deadline.
+	Deadline time.Time
+	// Aborted, when non-nil, is probed by the cancel interceptor just before
+	// the handler runs: a true return means the client is gone (the TCP
+	// harness flips it when the connection dies) and the pipeline drops the
+	// work with ErrCancelled instead of executing it.
+	Aborted func() bool
 
 	// newSession carries the session created by the Authenticate handler
 	// back to OpenSession.
@@ -166,6 +177,7 @@ func (s *Server) buildPipeline() {
 		{"status-map", s.statusInterceptor},   // uniform error→Status mapping + correlation ID
 		{"notify", s.notifyInterceptor},       // queued volume/share push delivery on success
 		{"session-guard", s.guardInterceptor}, // admission: no session, no service
+		{"cancel", s.cancelInterceptor},       // drop deadline-expired / client-abandoned work
 	}
 	wraps := make([]Interceptor, len(ics))
 	for i, x := range ics {
@@ -214,6 +226,25 @@ func (s *Server) guardInterceptor(next Handler) Handler {
 			c.suppressEvent = true
 			c.skipMetrics = true
 			return nil, errSessionRequired
+		}
+		return next(c)
+	}
+}
+
+// cancelInterceptor is the last gate before the handler: a request whose
+// deadline has passed or whose client has abandoned the connection is
+// dropped with ErrCancelled instead of doing back-end work nobody will read.
+// It sits innermost — inside status-map, so the drop maps to the uniform
+// StatusCancelled wire status, and after the session guard, so admission
+// rules still apply first — and runs before the handler, so cancelled
+// requests charge no RPC cost.
+func (s *Server) cancelInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		if !c.Deadline.IsZero() && c.Now.After(c.Deadline) {
+			return nil, fmt.Errorf("%w: deadline exceeded", protocol.ErrCancelled)
+		}
+		if c.Aborted != nil && c.Aborted() {
+			return nil, fmt.Errorf("%w: client disconnected", protocol.ErrCancelled)
 		}
 		return next(c)
 	}

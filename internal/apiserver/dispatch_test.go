@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"u1/internal/auth"
 	"u1/internal/blob"
@@ -51,7 +52,7 @@ func TestUnknownOpTableDefault(t *testing.T) {
 // matches the documented order and that construction is reproducible: two
 // servers built from the same config report identical chains.
 func TestInterceptorOrderDeterministic(t *testing.T) {
-	want := []string{"proc-load", "metrics", "events", "status-map", "notify", "session-guard"}
+	want := []string{"proc-load", "metrics", "events", "status-map", "notify", "session-guard", "cancel"}
 	a, b := newFixture(t), newFixture(t)
 	if got := a.srv.InterceptorOrder(); !reflect.DeepEqual(got, want) {
 		t.Errorf("interceptor order = %v, want %v", got, want)
@@ -104,6 +105,7 @@ func TestUniformErrorStatusMapping(t *testing.T) {
 		protocol.ErrUnavailable: protocol.StatusUnavailable,
 		protocol.ErrConflict:    protocol.StatusConflict,
 		protocol.ErrQuota:       protocol.StatusQuota,
+		protocol.ErrCancelled:   protocol.StatusCancelled,
 	}
 	f := newFixture(t)
 	sess := f.session(t, 32)
@@ -260,5 +262,118 @@ func TestSuppressedEventsStillRecordMetrics(t *testing.T) {
 	}
 	if got := reg.Counter("api.op.GetPart.count").Value(); got != before+1 {
 		t.Errorf("api.op.GetPart.count = %d, want %d: suppressed events must still record metrics", got, before+1)
+	}
+}
+
+// TestCancelDropsAbandonedWork pins the cancel interceptor's contract: a
+// request whose abort probe reports a dead client is dropped with
+// StatusCancelled before the handler runs, charges no RPC cost, and keeps
+// its correlation ID.
+func TestCancelDropsAbandonedWork(t *testing.T) {
+	f := newFixture(t)
+	sess := f.session(t, 60)
+	var ran bool
+	f.srv.handlers[protocol.OpListVolumes] = func(*OpContext) (*protocol.Response, error) {
+		ran = true
+		return &protocol.Response{Status: protocol.StatusOK}, nil
+	}
+	resp, d := f.srv.HandleWithCancel(sess, &protocol.Request{ID: 9, Op: protocol.OpListVolumes}, t0,
+		time.Time{}, func() bool { return true })
+	if resp.Status != protocol.StatusCancelled {
+		t.Errorf("status = %v, want cancelled", resp.Status)
+	}
+	if resp.ID != 9 {
+		t.Errorf("cancelled response lost correlation id: %d", resp.ID)
+	}
+	if ran {
+		t.Error("handler ran for an abandoned request")
+	}
+	if d != 0 {
+		t.Errorf("cancelled request charged cost %v", d)
+	}
+}
+
+// TestCancelDeadlineExceeded covers the deadline leg: a request stamped
+// later than its deadline never reaches the handler.
+func TestCancelDeadlineExceeded(t *testing.T) {
+	f := newFixture(t)
+	sess := f.session(t, 61)
+	var ran bool
+	f.srv.handlers[protocol.OpListVolumes] = func(*OpContext) (*protocol.Response, error) {
+		ran = true
+		return &protocol.Response{Status: protocol.StatusOK}, nil
+	}
+	resp, _ := f.srv.HandleWithCancel(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0,
+		t0.Add(-time.Second), nil)
+	if resp.Status != protocol.StatusCancelled || ran {
+		t.Errorf("deadline-expired request: status = %v, handler ran = %v", resp.Status, ran)
+	}
+	// A live deadline admits the request.
+	resp, _ = f.srv.HandleWithCancel(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0,
+		t0.Add(time.Hour), func() bool { return false })
+	if resp.Status != protocol.StatusOK || !ran {
+		t.Errorf("within-deadline request: status = %v, handler ran = %v", resp.Status, ran)
+	}
+}
+
+// TestCancelledRequestStillObservable ensures dropped work is not invisible:
+// the cancel happens inside the metrics and events interceptors, so the
+// trace event and the per-op error counter both record the StatusCancelled
+// outcome.
+func TestCancelledRequestStillObservable(t *testing.T) {
+	reg := metrics.NewRegistry()
+	store := metadata.New(metadata.Config{Shards: 4})
+	authSvc := auth.New(auth.Config{Seed: 1})
+	srv := New(Config{Name: "m", Procs: 2}, Deps{
+		RPC:      rpc.NewServer(store, rpc.Config{Seed: 1, Metrics: reg}),
+		Auth:     authSvc,
+		Blob:     blob.New(blob.Config{}),
+		Broker:   notify.NewBroker(),
+		Transfer: blob.DefaultTransferModel(),
+		Metrics:  reg,
+	})
+	token, err := authSvc.Issue(62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, resp, _ := srv.OpenSession(token, nil, t0)
+	if resp.Status != protocol.StatusOK {
+		t.Fatalf("open session: %v", resp.Status)
+	}
+	var events []Event
+	srv.AddObserver(func(e Event) { events = append(events, e) })
+	srv.HandleWithCancel(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0,
+		time.Time{}, func() bool { return true })
+	if len(events) == 0 {
+		t.Fatal("cancelled request emitted no trace event")
+	}
+	last := events[len(events)-1]
+	if last.Status != protocol.StatusCancelled {
+		t.Errorf("event status = %v, want cancelled", last.Status)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["api.op.ListVolumes.errors"] == 0 {
+		t.Error("cancelled request not counted as a ListVolumes error")
+	}
+}
+
+// TestCancelViaCancelingInterceptor drives cancellation the way an
+// interceptor-shaped client would: a probe that flips to aborted only after
+// the first request, proving the decision is re-evaluated per dispatch.
+func TestCancelViaCancelingInterceptor(t *testing.T) {
+	f := newFixture(t)
+	sess := f.session(t, 63)
+	var calls int
+	probe := func() bool {
+		calls++
+		return calls > 1 // first request admitted, second aborted
+	}
+	resp, _ := f.srv.HandleWithCancel(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0, time.Time{}, probe)
+	if resp.Status != protocol.StatusOK {
+		t.Fatalf("first request: status = %v", resp.Status)
+	}
+	resp, _ = f.srv.HandleWithCancel(sess, &protocol.Request{Op: protocol.OpListVolumes}, t0, time.Time{}, probe)
+	if resp.Status != protocol.StatusCancelled {
+		t.Fatalf("second request: status = %v, want cancelled", resp.Status)
 	}
 }

@@ -1,6 +1,7 @@
 package apiserver
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -14,7 +15,18 @@ import (
 // operations). The caller supplies now — wall clock on the TCP path, virtual
 // clock in the simulator.
 func (s *Server) Handle(sess *Session, req *protocol.Request, now time.Time) (*protocol.Response, time.Duration) {
+	return s.HandleWithCancel(sess, req, now, time.Time{}, nil)
+}
+
+// HandleWithCancel is Handle with cancellation: a non-zero deadline already
+// in the past, or an aborted probe returning true, makes the cancel
+// interceptor drop the request with StatusCancelled before the handler runs
+// — the TCP harness uses the probe to stop doing work for disconnected
+// clients mid-pipeline.
+func (s *Server) HandleWithCancel(sess *Session, req *protocol.Request, now time.Time, deadline time.Time, aborted func() bool) (*protocol.Response, time.Duration) {
 	c := s.newOpContext(sess, req, now)
+	c.Deadline = deadline
+	c.Aborted = aborted
 	resp := s.dispatch(c)
 	d := c.Cost.Total()
 	releaseOpContext(c)
@@ -424,7 +436,14 @@ func (s *Server) opAuthenticate(c *OpContext) (*protocol.Response, error) {
 
 	var user protocol.UserID
 	var err error
-	if cached, ok := s.tokens.Get(c.Req.Token, c.Now); ok {
+	if s.deps.Auth.InjectedFailure(c.Req.Token, c.Now) {
+		// Transient SSO failure (§7.3): injected per authentication request,
+		// as a pure function of (seed, token, now), so the failure stream is
+		// identical no matter which server's cache the session hit — the
+		// reproducibility the parallel generator relies on.
+		err = fmt.Errorf("%w: transient validation failure", protocol.ErrAuthFailed)
+		s.deps.RPC.ObserveAuth(0, c.Now, err, &c.Cost)
+	} else if cached, ok := s.tokens.Get(c.Req.Token, c.Now); ok {
 		user = cached
 		// Cached tokens skip the shared auth service entirely; the paper
 		// notes caching exists to avoid overloading it.

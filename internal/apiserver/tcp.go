@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"u1/internal/protocol"
@@ -51,23 +52,35 @@ func (s *Server) RunNotifier(done <-chan struct{}) {
 }
 
 // connWriter serializes frame writes: responses and pushes share the
-// connection.
+// connection. It also tracks connection death: the first failed write flips
+// the dead flag, which the dispatch pipeline probes (OpContext.Aborted) so
+// in-flight requests for a disconnected client are dropped mid-pipeline
+// instead of doing back-end work nobody will read.
 type connWriter struct {
 	mu   sync.Mutex
 	conn net.Conn
+	dead atomic.Bool
 }
 
 func (w *connWriter) writeFrame(msgType byte, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return wire.WriteFrame(w.conn, msgType, payload)
+	err := wire.WriteFrame(w.conn, msgType, payload)
+	if err != nil {
+		w.dead.Store(true)
+	}
+	return err
 }
 
 // Push implements Pusher by writing a push frame. Write errors terminate the
-// connection lazily: the read loop notices.
+// connection lazily: the read loop notices, and the dead flag aborts any
+// request still in the pipeline.
 func (w *connWriter) Push(p *protocol.Push) {
 	_ = w.writeFrame(protocol.FramePush, p.Marshal())
 }
+
+// aborted reports whether the connection is known dead.
+func (w *connWriter) aborted() bool { return w.dead.Load() }
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
@@ -116,7 +129,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			resp = &protocol.Response{ID: req.ID, Status: protocol.StatusOK}
 		default:
-			resp, _ = s.Handle(sess, req, now)
+			resp, _ = s.HandleWithCancel(sess, req, now, time.Time{}, w.aborted)
 		}
 		if err := w.writeFrame(protocol.FrameResponse, resp.Marshal()); err != nil {
 			return

@@ -13,10 +13,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	mrand "math/rand"
 	"sync"
 	"time"
 
+	"u1/internal/dist"
 	"u1/internal/protocol"
 )
 
@@ -42,11 +42,11 @@ type Counters struct {
 // single consistent token table; the redundancy aspects are not part of any
 // measured result.
 type Service struct {
-	cfg Config
+	cfg  Config
+	seed int64
 
 	mu       sync.Mutex
 	tokens   map[string]protocol.UserID
-	rng      *mrand.Rand
 	counters Counters
 }
 
@@ -58,8 +58,8 @@ func New(cfg Config) *Service {
 	}
 	return &Service{
 		cfg:    cfg,
+		seed:   seed,
 		tokens: make(map[string]protocol.UserID),
-		rng:    mrand.New(mrand.NewSource(seed)),
 	}
 }
 
@@ -79,15 +79,50 @@ func (s *Service) Issue(user protocol.UserID) (string, error) {
 	return token, nil
 }
 
+// failureDraw derives the transient-failure uniform for one authentication
+// request as a pure function of (Seed, user, now), scrambled through
+// splitmix64. Keying on the user — not the token string, which is
+// crypto-random and differs between runs — and on the virtual request time —
+// not a shared draw sequence, whose Nth value would go to whichever caller
+// got the lock first — is what keeps SSO failures reproducible across runs
+// and under a parallel driver.
+func (s *Service) failureDraw(user protocol.UserID, now time.Time) float64 {
+	z := dist.Splitmix64(uint64(user)*dist.Splitmix64Gamma + uint64(s.seed) + uint64(now.UnixNano()))
+	return float64(z>>11) / (1 << 53)
+}
+
+// InjectedFailure reports whether the authentication request presenting
+// token at virtual time now is one of the injected transient SSO failures
+// (§7.3's 2.76% is measured over authentication requests, so the draw
+// applies per request, not per cache-missing SSO round trip). The decision
+// is a pure function of (Seed, token's user, now) — independent of
+// token-cache state, session placement and caller interleaving, which is
+// what keeps the parallel generator's failure stream reproducible. Unknown
+// tokens draw no failure (validation rejects them anyway). A true return is
+// counted as a failed request.
+func (s *Service) InjectedFailure(token string, now time.Time) bool {
+	if s.cfg.FailureRate <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	user, ok := s.tokens[token]
+	s.mu.Unlock()
+	if !ok || s.failureDraw(user, now) >= s.cfg.FailureRate {
+		return false
+	}
+	s.mu.Lock()
+	s.counters.Failed++
+	s.mu.Unlock()
+	return true
+}
+
 // Validate resolves a token to its user (auth.get_user_id_from_token).
-// Unknown tokens and injected failures yield protocol.ErrAuthFailed.
+// Unknown tokens yield protocol.ErrAuthFailed; the transient-failure
+// injection of InjectedFailure happens at the request level, before any
+// cache consult, so Validate itself never flakes.
 func (s *Service) Validate(token string) (protocol.UserID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cfg.FailureRate > 0 && s.rng.Float64() < s.cfg.FailureRate {
-		s.counters.Failed++
-		return 0, fmt.Errorf("%w: transient validation failure", protocol.ErrAuthFailed)
-	}
 	user, ok := s.tokens[token]
 	if !ok {
 		s.counters.Failed++

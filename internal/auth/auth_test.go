@@ -61,16 +61,56 @@ func TestFailureInjection(t *testing.T) {
 	// The paper's measured rate: 2.76% of auth requests fail.
 	s := New(Config{FailureRate: 0.0276, Seed: 5})
 	tok, _ := s.Issue(1)
+	start := time.Unix(1390000000, 0)
 	var failed int
 	const n = 20000
 	for i := 0; i < n; i++ {
-		if _, err := s.Validate(tok); err != nil {
+		if s.InjectedFailure(tok, start.Add(time.Duration(i)*time.Second)) {
 			failed++
 		}
 	}
 	rate := float64(failed) / float64(n)
 	if rate < 0.02 || rate > 0.036 {
 		t.Errorf("failure rate = %v, want ≈ 0.0276", rate)
+	}
+	if got := s.Stats().Failed; got != uint64(failed) {
+		t.Errorf("failed counter = %d, want %d", got, failed)
+	}
+	// Validate itself never flakes: injection is a request-level concern.
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Validate(tok); err != nil {
+			t.Fatalf("Validate flaked at %d: %v", i, err)
+		}
+	}
+}
+
+// TestFailureInjectionDeterministic pins the parallel-driver contract: the
+// failure decision is a pure function of (Seed, token, now), so the same
+// validation replayed at the same virtual instant fails the same way no
+// matter which goroutine gets there first, and different seeds decorrelate.
+func TestFailureInjectionDeterministic(t *testing.T) {
+	s1 := New(Config{FailureRate: 0.0276, Seed: 5})
+	s2 := New(Config{FailureRate: 0.0276, Seed: 5})
+	tok, _ := s1.Issue(1)
+	s2.tokens[tok] = 1 // mirror the token table
+	start := time.Unix(1390000000, 0)
+	var diverged, failed int
+	for i := 0; i < 5000; i++ {
+		now := start.Add(time.Duration(i) * 17 * time.Second)
+		f1 := s1.InjectedFailure(tok, now)
+		f2 := s2.InjectedFailure(tok, now)
+		if f1 != f2 {
+			diverged++
+		}
+		if f1 {
+			failed++
+		}
+	}
+	if diverged != 0 {
+		t.Errorf("%d validations diverged between identical services", diverged)
+	}
+	if failed == 0 {
+		t.Error("no failures injected at 2.76% over 5000 draws")
 	}
 }
 

@@ -3,58 +3,144 @@
 // pieces: a Balancer implementing the placement rule documented in §4 — "a
 // session starts in the least loaded machine and lives in the same node until
 // it finishes" — and a TCP Proxy that applies the rule to real connections.
+//
+// The balancer scales the way HAProxy-style front-ends do: its state is S
+// independently locked shard heaps. With S = 1 placement is the exact
+// global least-loaded rule (one min-heap, deterministic (load, name)
+// tie-break). With S > 1, Acquire samples two distinct shards from a
+// lock-free splitmix64 source and takes the less-loaded of the two shard
+// roots — the power-of-two-choices result that keeps the maximum load within
+// a constant factor of the global minimum while placement decisions on
+// different shards proceed in parallel instead of serializing on one mutex.
 package gateway
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"u1/internal/dist"
 	"u1/internal/metrics"
 )
 
 // ErrNoBackends is returned when no backend is registered.
 var ErrNoBackends = errors.New("gateway: no backends registered")
 
+// Lease is one placed session: the backend it lives on and the balancer
+// shard that owns the backend's heap slot. Release returns the session to
+// the owning shard without re-hashing or searching.
+type Lease struct {
+	Backend string
+	shard   int
+}
+
 // balancerMetrics holds the gateway's registered handles: session placement
-// volume, the live session gauge, and the cost of each least-loaded routing
-// decision.
+// volume, the live session gauge, and the cost of each routing decision.
 type balancerMetrics struct {
 	placed       *metrics.Counter
 	activeConns  *metrics.Gauge
 	placeSeconds *metrics.Histogram
 	reg          *metrics.Registry
-	perBackend   map[string]*metrics.Counter
 }
 
-// backendSlot is one backend's entry in the balancer's min-heap. pos tracks
-// the slot's index in the heap array so Release and RemoveBackend can sift
-// from the middle without searching.
+// backendSlot is one backend's entry in its shard's min-heap. pos tracks the
+// slot's index in the heap array so Release and RemoveBackend can sift from
+// the middle without searching.
 type backendSlot struct {
-	name string
-	load int
-	pos  int
+	name   string
+	load   int
+	pos    int
+	placed *metrics.Counter // per-backend placement counter (nil-safe handle)
 }
 
-// Balancer assigns sessions to the least-loaded backend and tracks active
-// session counts. It is safe for concurrent use. Placement reads the root of
-// an indexed min-heap ordered by (load, name) — maintained incrementally by
-// Acquire/Release/AddBackend/RemoveBackend — so each decision is O(log n)
-// with zero allocation instead of the former per-call allocate-and-sort.
-type Balancer struct {
+// balancerShard is one independently locked heap of backends, ordered by
+// (load, name) so the root is always the shard's least-loaded backend.
+type balancerShard struct {
 	mu     sync.Mutex
 	heap   []*backendSlot
 	byName map[string]*backendSlot
 	total  map[string]uint64
-	m      balancerMetrics
 }
 
-// NewBalancer creates a balancer over the given backend names.
+func (s *balancerShard) less(i, j int) bool {
+	return rootLess(s.heap[i], s.heap[j])
+}
+
+func (s *balancerShard) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].pos = i
+	s.heap[j].pos = j
+}
+
+func (s *balancerShard) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *balancerShard) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && s.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && s.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Balancer assigns sessions to backends and tracks active session counts. It
+// is safe for concurrent use; see the package comment for the sharding and
+// power-of-two-choices placement model.
+type Balancer struct {
+	shards []*balancerShard
+	// rng is the lock-free splitmix64 state behind shard sampling (the PR 2
+	// idiom: one atomic add per draw, no lock on the placement path).
+	rng atomic.Uint64
+	// m holds the metric handles behind an atomic pointer so Instrument can
+	// attach a registry while placements are in flight (the PR 3 dynamic
+	// mid-traffic attach pattern) without a lock on the placement path.
+	m atomic.Pointer[balancerMetrics]
+}
+
+// NewBalancer creates a single-shard balancer over the given backend names:
+// the exact deterministic least-loaded rule of §4.
 func NewBalancer(backends ...string) *Balancer {
-	b := &Balancer{byName: make(map[string]*backendSlot), total: make(map[string]uint64)}
+	return NewShardedBalancer(1, backends...)
+}
+
+// NewShardedBalancer creates a balancer with the given shard count (min 1).
+// Backends are assigned to shards by a stable hash of their name, so the
+// shard layout is independent of registration order.
+func NewShardedBalancer(shards int, backends ...string) *Balancer {
+	if shards < 1 {
+		shards = 1
+	}
+	b := &Balancer{shards: make([]*balancerShard, shards)}
+	for i := range b.shards {
+		b.shards[i] = &balancerShard{
+			byName: make(map[string]*backendSlot),
+			total:  make(map[string]uint64),
+		}
+	}
 	b.Instrument(nil)
 	for _, name := range backends {
 		b.AddBackend(name)
@@ -62,162 +148,242 @@ func NewBalancer(backends ...string) *Balancer {
 	return b
 }
 
-// less orders the heap by (load, name): the root is always the least-loaded
-// backend, with ties broken deterministically by name so tests are stable.
-func (b *Balancer) less(i, j int) bool {
-	si, sj := b.heap[i], b.heap[j]
-	return si.load < sj.load || (si.load == sj.load && si.name < sj.name)
-}
+// NumShards returns the balancer's shard count.
+func (b *Balancer) NumShards() int { return len(b.shards) }
 
-func (b *Balancer) swap(i, j int) {
-	b.heap[i], b.heap[j] = b.heap[j], b.heap[i]
-	b.heap[i].pos = i
-	b.heap[j].pos = j
-}
-
-func (b *Balancer) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !b.less(i, parent) {
-			break
-		}
-		b.swap(i, parent)
-		i = parent
+// shardOf maps a backend name to its owning shard: FNV over the name,
+// scrambled through the splitmix64 mix so shard counts with small factors
+// still spread evenly.
+func (b *Balancer) shardOf(name string) int {
+	if len(b.shards) == 1 {
+		return 0
 	}
+	h := fnv.New64a()
+	io.WriteString(h, name) //nolint:errcheck
+	return int(dist.Splitmix64(h.Sum64()) % uint64(len(b.shards)))
 }
 
-func (b *Balancer) siftDown(i int) {
-	n := len(b.heap)
-	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < n && b.less(left, smallest) {
-			smallest = left
-		}
-		if right < n && b.less(right, smallest) {
-			smallest = right
-		}
-		if smallest == i {
-			return
-		}
-		b.swap(i, smallest)
-		i = smallest
-	}
-}
-
-// Instrument registers the balancer's placement metrics on reg. Call before
-// traffic starts; a nil registry leaves the balancer unobserved.
+// Instrument registers the balancer's placement metrics on reg. Safe to
+// call while traffic is in flight (placements read the handles through an
+// atomic pointer); a nil registry leaves the balancer unobserved. Decisions
+// concurrent with the swap may record against the old registry.
 func (b *Balancer) Instrument(reg *metrics.Registry) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.m = balancerMetrics{
+	b.m.Store(&balancerMetrics{
 		placed:       reg.Counter("gateway.sessions.placed"),
 		activeConns:  reg.Gauge("gateway.sessions.active"),
 		placeSeconds: reg.Histogram("gateway.place.seconds"),
 		reg:          reg,
-		perBackend:   make(map[string]*metrics.Counter),
+	})
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, s := range sh.byName {
+			s.placed = reg.Counter("gateway.backend." + s.name + ".placed")
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// backendCounter resolves (caching) the per-backend placement counter.
-// Caller holds b.mu.
-func (b *Balancer) backendCounter(name string) *metrics.Counter {
-	c, ok := b.m.perBackend[name]
-	if !ok {
-		c = b.m.reg.Counter("gateway.backend." + name + ".placed")
-		b.m.perBackend[name] = c
-	}
-	return c
-}
-
-// AddBackend registers a backend (API server process) with zero load.
+// AddBackend registers a backend (API server process) with zero load on its
+// owning shard.
 func (b *Balancer) AddBackend(name string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.byName[name]; ok {
+	sh := b.shards[b.shardOf(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.byName[name]; ok {
 		return
 	}
-	s := &backendSlot{name: name, pos: len(b.heap)}
-	b.byName[name] = s
-	b.heap = append(b.heap, s)
-	b.siftUp(s.pos)
+	s := &backendSlot{
+		name:   name,
+		pos:    len(sh.heap),
+		placed: b.m.Load().reg.Counter("gateway.backend." + name + ".placed"),
+	}
+	sh.byName[name] = s
+	sh.heap = append(sh.heap, s)
+	sh.siftUp(s.pos)
 }
 
 // RemoveBackend deregisters a backend; its sessions are assumed terminated.
 func (b *Balancer) RemoveBackend(name string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s, ok := b.byName[name]
+	sh := b.shards[b.shardOf(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.byName[name]
 	if !ok {
 		return
 	}
-	delete(b.byName, name)
+	delete(sh.byName, name)
 	// Capture the hole's index before swapping: swap() rewrites s.pos to
 	// last, so sifting at s.pos afterwards would skip the swapped-in slot
 	// and break the heap invariant.
 	i := s.pos
-	last := len(b.heap) - 1
+	last := len(sh.heap) - 1
 	if i != last {
-		b.swap(i, last)
+		sh.swap(i, last)
 	}
-	b.heap[last] = nil
-	b.heap = b.heap[:last]
+	sh.heap[last] = nil
+	sh.heap = sh.heap[:last]
 	if i < last {
-		b.siftDown(i)
-		b.siftUp(i)
+		sh.siftDown(i)
+		sh.siftUp(i)
 	}
 }
 
-// Acquire picks the least-loaded backend, increments its session count and
-// returns its name. Ties break deterministically by name so tests are
-// stable.
-func (b *Balancer) Acquire() (string, error) {
-	start := time.Now()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.heap) == 0 {
-		return "", ErrNoBackends
-	}
-	s := b.heap[0]
+// acquireFrom takes the root of shard idx. Caller holds the shard lock.
+func (b *Balancer) acquireFrom(idx int) Lease {
+	sh := b.shards[idx]
+	s := sh.heap[0]
 	s.load++
-	b.siftDown(0)
-	b.total[s.name]++
-	b.m.placed.Inc()
-	b.m.activeConns.Inc()
-	b.backendCounter(s.name).Inc()
-	b.m.placeSeconds.Observe(time.Since(start).Seconds())
-	return s.name, nil
+	sh.siftDown(0)
+	sh.total[s.name]++
+	s.placed.Inc()
+	return Lease{Backend: s.name, shard: idx}
 }
 
-// Release ends a session on the backend.
-func (b *Balancer) Release(name string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if s, ok := b.byName[name]; ok && s.load > 0 {
-		s.load--
-		b.siftUp(s.pos)
-		b.m.activeConns.Dec()
+// pickTwo draws two distinct shard indices from the lock-free source.
+func (b *Balancer) pickTwo() (int, int) {
+	n := len(b.shards)
+	r := dist.Splitmix64(b.rng.Add(dist.Splitmix64Gamma))
+	i := int(r % uint64(n))
+	j := int((r >> 32) % uint64(n))
+	if j == i {
+		j = (j + 1) % n
 	}
+	return i, j
+}
+
+// rootLess is the one placement comparator — (load, name), so ties break
+// deterministically — used both inside each shard's heap and between shard
+// roots in the two-choice comparison (callers hold the shard locks involved).
+func rootLess(a, b *backendSlot) bool {
+	return a.load < b.load || (a.load == b.load && a.name < b.name)
+}
+
+// Acquire picks a backend, increments its session count and returns the
+// lease. With one shard the choice is the exact least-loaded backend (ties
+// broken deterministically by name, so tests are stable); with several it is
+// the less-loaded of two randomly sampled shard roots.
+func (b *Balancer) Acquire() (Lease, error) {
+	start := time.Now()
+	var lease Lease
+	if len(b.shards) == 1 {
+		sh := b.shards[0]
+		sh.mu.Lock()
+		if len(sh.heap) == 0 {
+			sh.mu.Unlock()
+			return Lease{}, ErrNoBackends
+		}
+		lease = b.acquireFrom(0)
+		sh.mu.Unlock()
+	} else {
+		var ok bool
+		lease, ok = b.acquireTwoChoices()
+		if !ok {
+			return Lease{}, ErrNoBackends
+		}
+	}
+	m := b.m.Load()
+	m.placed.Inc()
+	m.activeConns.Inc()
+	m.placeSeconds.Observe(time.Since(start).Seconds())
+	return lease, nil
+}
+
+// acquireTwoChoices implements power-of-two-choices across shards: sample
+// two distinct shards, lock both in index order (no deadlock), take the
+// less-loaded root. If both samples are empty (name-hash imbalance or
+// backend removal), fall back to a linear probe for any non-empty shard.
+func (b *Balancer) acquireTwoChoices() (Lease, bool) {
+	i, j := b.pickTwo()
+	if i > j {
+		i, j = j, i
+	}
+	if lease, ok := b.tryPair(i, j); ok {
+		return lease, true
+	}
+	for k := range b.shards {
+		sh := b.shards[k]
+		sh.mu.Lock()
+		if len(sh.heap) > 0 {
+			lease := b.acquireFrom(k)
+			sh.mu.Unlock()
+			return lease, true
+		}
+		sh.mu.Unlock()
+	}
+	return Lease{}, false
+}
+
+// tryPair locks shards i < j (the callers' pickTwo contract: distinct,
+// ascending — ascending is what makes the double lock deadlock-free) and
+// takes the less-loaded of their roots.
+func (b *Balancer) tryPair(i, j int) (Lease, bool) {
+	shi, shj := b.shards[i], b.shards[j]
+	shi.mu.Lock()
+	shj.mu.Lock()
+	defer func() {
+		shj.mu.Unlock()
+		shi.mu.Unlock()
+	}()
+	iOK, jOK := len(shi.heap) > 0, len(shj.heap) > 0
+	switch {
+	case iOK && jOK:
+		if rootLess(shj.heap[0], shi.heap[0]) {
+			return b.acquireFrom(j), true
+		}
+		return b.acquireFrom(i), true
+	case iOK:
+		return b.acquireFrom(i), true
+	case jOK:
+		return b.acquireFrom(j), true
+	}
+	return Lease{}, false
+}
+
+// Release ends the leased session on its owning shard.
+func (b *Balancer) Release(l Lease) {
+	if l.Backend == "" {
+		return
+	}
+	sh := b.shards[l.shard]
+	sh.mu.Lock()
+	if s, ok := sh.byName[l.Backend]; ok && s.load > 0 {
+		s.load--
+		sh.siftUp(s.pos)
+		sh.mu.Unlock()
+		b.m.Load().activeConns.Dec()
+		return
+	}
+	sh.mu.Unlock()
+}
+
+// ReleaseBackend ends a session on the named backend, resolving the owning
+// shard by name hash — for callers that track backends rather than leases.
+func (b *Balancer) ReleaseBackend(name string) {
+	b.Release(Lease{Backend: name, shard: b.shardOf(name)})
 }
 
 // Active returns a snapshot of active sessions per backend.
 func (b *Balancer) Active() map[string]int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make(map[string]int, len(b.byName))
-	for name, s := range b.byName {
-		out[name] = s.load
+	out := make(map[string]int)
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for name, s := range sh.byName {
+			out[name] = s.load
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Totals returns cumulative sessions placed per backend.
 func (b *Balancer) Totals() map[string]uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make(map[string]uint64, len(b.total))
-	for k, v := range b.total {
-		out[k] = v
+	out := make(map[string]uint64)
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for k, v := range sh.total {
+			out[k] = v
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -233,14 +399,20 @@ type Proxy struct {
 	ln net.Listener
 }
 
-// NewProxy creates a proxy over named backend addresses.
+// NewProxy creates a single-shard proxy over named backend addresses.
 func NewProxy(backends map[string]string) *Proxy {
+	return NewShardedProxy(1, backends)
+}
+
+// NewShardedProxy creates a proxy whose balancer spreads the named backends
+// over the given number of shards (power-of-two-choices placement).
+func NewShardedProxy(shards int, backends map[string]string) *Proxy {
 	names := make([]string, 0, len(backends))
 	for name := range backends {
 		names = append(names, name)
 	}
 	return &Proxy{
-		balancer: NewBalancer(names...),
+		balancer: NewShardedBalancer(shards, names...),
 		backends: backends,
 	}
 }
@@ -249,7 +421,7 @@ func NewProxy(backends map[string]string) *Proxy {
 func (p *Proxy) Balancer() *Balancer { return p.balancer }
 
 // Serve accepts connections on ln until it is closed. Each connection is
-// placed on the least-loaded backend and copied bidirectionally.
+// placed by the balancer and copied bidirectionally.
 func (p *Proxy) Serve(ln net.Listener) error {
 	p.mu.Lock()
 	p.ln = ln
@@ -278,12 +450,12 @@ func (p *Proxy) Close() error {
 
 func (p *Proxy) handle(client net.Conn) {
 	defer client.Close()
-	name, err := p.balancer.Acquire()
+	lease, err := p.balancer.Acquire()
 	if err != nil {
 		return
 	}
-	defer p.balancer.Release(name)
-	backend, err := net.Dial("tcp", p.backends[name])
+	defer p.balancer.Release(lease)
+	backend, err := net.Dial("tcp", p.backends[lease.Backend])
 	if err != nil {
 		return
 	}

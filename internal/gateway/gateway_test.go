@@ -8,17 +8,18 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestBalancerLeastLoaded(t *testing.T) {
 	b := NewBalancer("a", "b", "c")
 	got := make(map[string]int)
 	for i := 0; i < 6; i++ {
-		name, err := b.Acquire()
+		lease, err := b.Acquire()
 		if err != nil {
 			t.Fatal(err)
 		}
-		got[name]++
+		got[lease.Backend]++
 	}
 	// Perfectly balanced: two sessions each.
 	for _, name := range []string{"a", "b", "c"} {
@@ -27,12 +28,12 @@ func TestBalancerLeastLoaded(t *testing.T) {
 		}
 	}
 	// Release two sessions from "b": next two placements go to b.
-	b.Release("b")
-	b.Release("b")
+	b.ReleaseBackend("b")
+	b.ReleaseBackend("b")
 	for i := 0; i < 2; i++ {
-		name, _ := b.Acquire()
-		if name != "b" {
-			t.Errorf("placement %d went to %s, want b", i, name)
+		lease, _ := b.Acquire()
+		if lease.Backend != "b" {
+			t.Errorf("placement %d went to %s, want b", i, lease.Backend)
 		}
 	}
 	if tot := b.Totals(); tot["b"] != 4 {
@@ -41,13 +42,13 @@ func TestBalancerLeastLoaded(t *testing.T) {
 }
 
 func TestBalancerSessionsStick(t *testing.T) {
-	// The balancer hands out a name once; the session keeps it. Active
+	// The balancer hands out a lease once; the session keeps it. Active
 	// counts reflect held sessions.
 	b := NewBalancer("a", "b")
-	n1, _ := b.Acquire()
-	n2, _ := b.Acquire()
-	if n1 == n2 {
-		t.Errorf("both sessions on %s", n1)
+	l1, _ := b.Acquire()
+	l2, _ := b.Acquire()
+	if l1.Backend == l2.Backend {
+		t.Errorf("both sessions on %s", l1.Backend)
 	}
 	act := b.Active()
 	if act["a"] != 1 || act["b"] != 1 {
@@ -61,12 +62,13 @@ func TestBalancerEmpty(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 	// Releasing unknown names must not panic or underflow.
-	b.Release("ghost")
+	b.ReleaseBackend("ghost")
+	b.Release(Lease{})
 	b.AddBackend("x")
 	b.AddBackend("x") // idempotent
-	name, err := b.Acquire()
-	if err != nil || name != "x" {
-		t.Errorf("acquire = %s, %v", name, err)
+	lease, err := b.Acquire()
+	if err != nil || lease.Backend != "x" {
+		t.Errorf("acquire = %s, %v", lease.Backend, err)
 	}
 	b.RemoveBackend("x")
 	if _, err := b.Acquire(); err == nil {
@@ -81,12 +83,12 @@ func TestBalancerConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			name, err := b.Acquire()
+			lease, err := b.Acquire()
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			b.Release(name)
+			b.Release(lease)
 		}()
 	}
 	wg.Wait()
@@ -126,7 +128,9 @@ func TestProxyEndToEnd(t *testing.T) {
 	addrB, stopB := echoServer(t, "B")
 	defer stopB()
 
-	p := NewProxy(map[string]string{"a": addrA, "b": addrB})
+	// Two shards over two backends exercises the sharded placement path on
+	// real connections.
+	p := NewShardedProxy(2, map[string]string{"a": addrA, "b": addrB})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -156,33 +160,47 @@ func TestProxyEndToEnd(t *testing.T) {
 			t.Errorf("reply = %q, want suffix %q", reply, want)
 		}
 	}
-	// Sequential sessions close before the next opens, so the least-loaded
-	// rule with deterministic tie-break pins them to "a"; both backends are
-	// reachable in principle. Just assert traffic flowed.
 	if len(seen) == 0 {
 		t.Error("no backend reached")
+	}
+	// The proxy releases each lease asynchronously after the copy loops
+	// drain; poll briefly instead of racing the handler goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var active int
+		for _, n := range p.Balancer().Active() {
+			active += n
+		}
+		if active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("balancer still tracks %d active sessions after all connections closed", active)
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
 func TestBalancerHeapDeterministicTies(t *testing.T) {
-	// The heap must reproduce the old sort-based rule exactly: least loaded
+	// One shard must reproduce the old sort-based rule exactly: least loaded
 	// wins, ties go to the lexicographically smallest name.
 	b := NewBalancer("delta", "alpha", "charlie", "bravo")
 	want := []string{"alpha", "bravo", "charlie", "delta", "alpha", "bravo"}
 	for i, w := range want {
-		name, err := b.Acquire()
+		lease, err := b.Acquire()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if name != w {
-			t.Errorf("placement %d = %s, want %s", i, name, w)
+		if lease.Backend != w {
+			t.Errorf("placement %d = %s, want %s", i, lease.Backend, w)
 		}
 	}
 	// Releasing from the middle of the heap must restore its priority.
-	b.Release("charlie")
-	b.Release("charlie")
-	if name, _ := b.Acquire(); name != "charlie" {
-		t.Errorf("after releases, placement = %s, want charlie", name)
+	b.ReleaseBackend("charlie")
+	b.ReleaseBackend("charlie")
+	if lease, _ := b.Acquire(); lease.Backend != "charlie" {
+		t.Errorf("after releases, placement = %s, want charlie", lease.Backend)
 	}
 }
 
@@ -193,18 +211,18 @@ func TestBalancerRemoveReAdd(t *testing.T) {
 	}
 	b.RemoveBackend("a")
 	for i := 0; i < 2; i++ {
-		name, err := b.Acquire()
+		lease, err := b.Acquire()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if name == "a" {
+		if lease.Backend == "a" {
 			t.Error("placed on a removed backend")
 		}
 	}
 	b.AddBackend("a") // comes back empty: next placements pour into it
 	for i := 0; i < 2; i++ {
-		if name, _ := b.Acquire(); name != "a" {
-			t.Errorf("placement %d = %s, want a (fresh backend is least loaded)", i, name)
+		if lease, _ := b.Acquire(); lease.Backend != "a" {
+			t.Errorf("placement %d = %s, want a (fresh backend is least loaded)", i, lease.Backend)
 		}
 	}
 	act := b.Active()
@@ -225,11 +243,11 @@ func TestBalancerConcurrentChurn(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 300; i++ {
-				name, err := b.Acquire()
+				lease, err := b.Acquire()
 				if err != nil {
 					continue // all backends momentarily removed
 				}
-				b.Release(name)
+				b.Release(lease)
 			}
 		}()
 	}
@@ -251,9 +269,9 @@ func TestBalancerConcurrentChurn(t *testing.T) {
 	// rebalance toward the minimum.
 	b.Acquire() // a
 	b.Acquire() // b
-	name, err := b.Acquire()
-	if err != nil || (name != "c" && name != "d") {
-		t.Errorf("placement = %s (%v), want one of the empty backends", name, err)
+	lease, err := b.Acquire()
+	if err != nil || (lease.Backend != "c" && lease.Backend != "d") {
+		t.Errorf("placement = %s (%v), want one of the empty backends", lease.Backend, err)
 	}
 }
 
@@ -267,8 +285,8 @@ func TestBalancerLeastLoadedInvariantUnderLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				if name, err := b.Acquire(); err == nil {
-					b.Release(name)
+				if lease, err := b.Acquire(); err == nil {
+					b.Release(lease)
 				}
 			}
 		}()
@@ -296,13 +314,12 @@ func TestBalancerLeastLoadedInvariantUnderLoad(t *testing.T) {
 
 // TestBalancerMatchesReferenceModel drives random Acquire/Release/
 // RemoveBackend/AddBackend sequences against a naive map-based model and
-// demands identical placement at every step. Regression for the mid-heap
-// removal bug: deleting a non-root, non-leaf backend used to skip the
-// re-sift of the swapped-in slot, leaving the heap untrue to (load, name)
-// order.
+// demands identical placement at every step — the Shards=1 determinism
+// contract: the sharded balancer with one shard is the old least-loaded
+// heap, placement for placement.
 func TestBalancerMatchesReferenceModel(t *testing.T) {
 	names := []string{"a", "b", "c", "d", "e", "f"}
-	b := NewBalancer(names...)
+	b := NewShardedBalancer(1, names...)
 	ref := make(map[string]int)
 	for _, n := range names {
 		ref[n] = 0
@@ -324,17 +341,17 @@ func TestBalancerMatchesReferenceModel(t *testing.T) {
 		switch op := r.Intn(10); {
 		case op < 5: // acquire
 			want, wantOK := refAcquire()
-			got, err := b.Acquire()
-			if (err == nil) != wantOK || got != want {
+			lease, err := b.Acquire()
+			if (err == nil) != wantOK || lease.Backend != want {
 				t.Fatalf("step %d: Acquire = %q (%v), reference %q (%v); ref=%v",
-					step, got, err, want, wantOK, ref)
+					step, lease.Backend, err, want, wantOK, ref)
 			}
 		case op < 8: // release a random name (may be absent or at zero)
 			n := names[r.Intn(len(names))]
 			if load, ok := ref[n]; ok && load > 0 {
 				ref[n]--
 			}
-			b.Release(n)
+			b.ReleaseBackend(n)
 		case op < 9: // remove a random backend (root, middle, or leaf)
 			n := names[r.Intn(len(names))]
 			delete(ref, n)
@@ -348,6 +365,129 @@ func TestBalancerMatchesReferenceModel(t *testing.T) {
 		}
 		if act := b.Active(); len(act) != len(ref) {
 			t.Fatalf("step %d: active set %v, reference %v", step, act, ref)
+		}
+	}
+}
+
+// --- Sharded (power-of-two-choices) balancer ---
+
+// shardedNames builds a backend fleet large enough that every shard is
+// populated with high probability.
+func shardedNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("backend-%02d", i)
+	}
+	return names
+}
+
+func TestShardedBalancerPlacesEverywhere(t *testing.T) {
+	b := NewShardedBalancer(4, shardedNames(16)...)
+	if b.NumShards() != 4 {
+		t.Fatalf("shards = %d", b.NumShards())
+	}
+	leases := make([]Lease, 0, 1600)
+	for i := 0; i < 1600; i++ {
+		lease, err := b.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, lease)
+	}
+	act := b.Active()
+	if len(act) != 16 {
+		t.Fatalf("active set %v", act)
+	}
+	// Power-of-two-choices keeps the load within a small factor of the
+	// mean (100 sessions per backend here); a single random choice would
+	// show √n-scale outliers, a broken heap far worse.
+	for name, n := range act {
+		if n < 50 || n > 200 {
+			t.Errorf("backend %s holds %d sessions, want ≈100", name, n)
+		}
+	}
+	// Leases release back to the owning shard: everything drains to zero.
+	for _, l := range leases {
+		b.Release(l)
+	}
+	for name, n := range b.Active() {
+		if n != 0 {
+			t.Errorf("backend %s leaked %d sessions after release", name, n)
+		}
+	}
+}
+
+func TestShardedBalancerEmptyShards(t *testing.T) {
+	// More shards than backends: some shards are empty and the sampler must
+	// fall through to the populated ones.
+	b := NewShardedBalancer(8, "a", "b")
+	got := make(map[string]int)
+	for i := 0; i < 64; i++ {
+		lease, err := b.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[lease.Backend]++
+	}
+	if got["a"]+got["b"] != 64 || got["a"] == 0 || got["b"] == 0 {
+		t.Errorf("placements = %v, want both backends used", got)
+	}
+	// Remove every backend: Acquire must fail cleanly, not spin or panic.
+	b.RemoveBackend("a")
+	b.RemoveBackend("b")
+	if _, err := b.Acquire(); !errors.Is(err, ErrNoBackends) {
+		t.Errorf("err = %v, want ErrNoBackends", err)
+	}
+}
+
+func TestShardedBalancerConcurrent(t *testing.T) {
+	b := NewShardedBalancer(4, shardedNames(12)...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make([]Lease, 0, 8)
+			for i := 0; i < 500; i++ {
+				lease, err := b.Acquire()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				held = append(held, lease)
+				if len(held) == 8 {
+					for _, l := range held {
+						b.Release(l)
+					}
+					held = held[:0]
+				}
+			}
+			for _, l := range held {
+				b.Release(l)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.RemoveBackend("backend-00")
+			b.AddBackend("backend-00")
+		}
+	}()
+	wg.Wait()
+	act := b.Active()
+	var leaked int
+	for _, n := range act {
+		leaked += n
+	}
+	// The churned backend may have dropped in-flight leases at removal;
+	// everything else must drain exactly.
+	if leaked > 0 {
+		for name, n := range act {
+			if n != 0 && name != "backend-00" {
+				t.Errorf("backend %s leaked %d sessions", name, n)
+			}
 		}
 	}
 }

@@ -1,15 +1,21 @@
-// Package hotpath measures the three structures every request crosses — the
-// RPC tier's service-time sampling, the notification broker's fan-out, and
-// the gateway's least-loaded placement — first from a single goroutine, then
-// with GOMAXPROCS goroutines contending on the same instance. The ratio of
-// the two throughputs is the scaling record the BENCH_*.json reports carry:
-// after the de-serialization of these paths (per-worker lockless RNGs,
-// read-locked fan-out, heap-backed placement) the parallel rate must exceed
-// the serial one; a ratio stuck at or below 1 means a global lock crept back
-// onto the request path.
+// Package hotpath measures the structures every request crosses — the RPC
+// tier's service-time sampling, the notification broker's fan-out, and the
+// gateway's placement (both the single-shard least-loaded heap and the
+// sharded power-of-two-choices balancer) — first from a single goroutine,
+// then with GOMAXPROCS goroutines contending on the same instance. The ratio
+// of the two throughputs is the scaling record the BENCH_*.json reports
+// carry: after the de-serialization of these paths (per-worker lockless
+// RNGs, read-locked fan-out, heap-backed placement, per-shard heaps) the
+// parallel rate must exceed the serial one; a ratio stuck at or below 1
+// means a global lock crept back onto the request path.
+//
+// MeasureGenerator applies the same serial-vs-parallel comparison to the
+// end-to-end trace generator: one sharded event loop per core against the
+// bit-for-bit serial Workers=1 stream.
 package hotpath
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -21,6 +27,7 @@ import (
 	"u1/internal/protocol"
 	"u1/internal/rpc"
 	"u1/internal/server"
+	"u1/internal/workload"
 )
 
 // Report keys for the measured paths (BenchReport.HotPaths).
@@ -28,7 +35,28 @@ const (
 	RPCCall       = "rpc.call"
 	NotifyPublish = "notify.publish"
 	GatewayPlace  = "gateway.acquire_release"
+	// GatewayPlaceSharded measures the power-of-two-choices balancer: the
+	// same acquire/release cycle against independently locked shard heaps.
+	GatewayPlaceSharded = "gateway.acquire_release.sharded"
 )
+
+// ShardedBalancerShards sizes the sharded-balancer fixture: enough shards
+// that two random choices rarely collide, over a fleet large enough to
+// populate them. Exported so the bench_test contention benchmark measures
+// the exact configuration the BENCH_*.json hot-path section records.
+const ShardedBalancerShards = 4
+
+// ShardedBalancerFleet is the sharded fixture's backend fleet: one paper
+// machine per process bank, wide enough to populate every shard.
+func ShardedBalancerFleet() []string {
+	fleet := make([]string, 0, 4*len(server.DefaultMachines))
+	for i := 0; i < 4; i++ {
+		for _, name := range server.DefaultMachines {
+			fleet = append(fleet, fmt.Sprintf("%s-%d", name, i))
+		}
+	}
+	return fleet
+}
 
 var t0 = time.Unix(1390000000, 0)
 
@@ -41,7 +69,7 @@ func Measure(ops int) map[string]metrics.HotPathStats {
 		ops = 1 << 18
 	}
 	workers := runtime.GOMAXPROCS(0)
-	out := make(map[string]metrics.HotPathStats, 3)
+	out := make(map[string]metrics.HotPathStats, 4)
 
 	// RPC tier: worker selection + per-class latency sampling + histogram
 	// recording, with no metadata store access in the way (ObserveAuth is
@@ -64,12 +92,21 @@ func Measure(ops int) map[string]metrics.HotPathStats {
 		broker.Publish(notify.Event{Kind: protocol.PushVolumeChanged, User: 1, Origin: server.DefaultMachines[0]})
 	})
 
-	// Gateway: one placement decision plus its release, holding the heap at
-	// steady state.
+	// Gateway, single shard: one placement decision plus its release,
+	// holding the heap at steady state — the exact least-loaded rule.
 	bal := gateway.NewBalancer(server.DefaultMachines...)
 	out[GatewayPlace] = run(ops, workers, func() {
-		if name, err := bal.Acquire(); err == nil {
-			bal.Release(name)
+		if lease, err := bal.Acquire(); err == nil {
+			bal.Release(lease)
+		}
+	})
+
+	// Gateway, sharded: the same cycle against per-shard heaps with
+	// power-of-two-choices between them.
+	sharded := gateway.NewShardedBalancer(ShardedBalancerShards, ShardedBalancerFleet()...)
+	out[GatewayPlaceSharded] = run(ops, workers, func() {
+		if lease, err := sharded.Acquire(); err == nil {
+			sharded.Release(lease)
 		}
 	})
 	return out
@@ -110,4 +147,47 @@ func run(ops, workers int, op func()) metrics.HotPathStats {
 		st.Speedup = st.ParallelOpsPerSec / st.SerialOpsPerSec
 	}
 	return st
+}
+
+// MeasureGenerator times end-to-end trace generation — population build,
+// per-shard event loops, the full back-end under every event — once with
+// Workers=1 (the serial stream) and once with one shard per core, each
+// against its own fresh cluster. users/days ≤ 0 pick a smoke-sized default.
+func MeasureGenerator(users, days int) metrics.GeneratorStats {
+	if users <= 0 {
+		users = 150
+	}
+	if days <= 0 {
+		days = 3
+	}
+	workers := runtime.GOMAXPROCS(0)
+	st := metrics.GeneratorStats{Users: users, Days: days, Workers: workers}
+
+	st.SerialEventsPerSec = generationRate(users, days, 1)
+	if workers == 1 {
+		// One core: the parallel configuration is the serial one.
+		st.ParallelEventsPerSec = st.SerialEventsPerSec
+	} else {
+		st.ParallelEventsPerSec = generationRate(users, days, workers)
+	}
+	if st.SerialEventsPerSec > 0 {
+		st.Speedup = st.ParallelEventsPerSec / st.SerialEventsPerSec
+	}
+	return st
+}
+
+// generationRate runs one generation and returns events per wall second.
+func generationRate(users, days, shards int) float64 {
+	cluster := server.NewCluster(server.Config{Seed: 10})
+	g := workload.New(workload.Config{
+		Users: users, Days: days, Seed: 10, Workers: shards,
+		Attacks: []workload.Attack{},
+	}, cluster)
+	start := time.Now()
+	g.Run()
+	wall := time.Since(start)
+	if wall <= 0 {
+		return 0
+	}
+	return float64(g.Engine().Executed()) / wall.Seconds()
 }

@@ -7,7 +7,7 @@ import (
 
 func TestMeasureShape(t *testing.T) {
 	got := Measure(2048)
-	for _, key := range []string{RPCCall, NotifyPublish, GatewayPlace} {
+	for _, key := range []string{RPCCall, NotifyPublish, GatewayPlace, GatewayPlaceSharded} {
 		st, ok := got[key]
 		if !ok {
 			t.Fatalf("path %s missing from measurement", key)
@@ -18,5 +18,21 @@ func TestMeasureShape(t *testing.T) {
 		if st.Workers != runtime.GOMAXPROCS(0) {
 			t.Errorf("path %s: workers = %d", key, st.Workers)
 		}
+	}
+}
+
+func TestMeasureGeneratorShape(t *testing.T) {
+	st := MeasureGenerator(60, 1)
+	if st.Users != 60 || st.Days != 1 {
+		t.Errorf("scale = %d users x %d days", st.Users, st.Days)
+	}
+	if st.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers = %d", st.Workers)
+	}
+	if st.SerialEventsPerSec <= 0 || st.ParallelEventsPerSec <= 0 {
+		t.Errorf("degenerate generation rates: %+v", st)
+	}
+	if st.Speedup <= 0 {
+		t.Errorf("speedup = %v", st.Speedup)
 	}
 }

@@ -57,6 +57,19 @@ type HotPathStats struct {
 	Speedup           float64 `json:"speedup"`
 }
 
+// GeneratorStats calibrates end-to-end trace generation on the sharded
+// simulation substrate: events per wall second with one generator shard
+// (the bit-for-bit serial stream) vs one shard per core. Speedup =
+// parallel/serial; > 1 means the sharded event loops scale with cores.
+type GeneratorStats struct {
+	Users                int     `json:"users"`
+	Days                 int     `json:"days"`
+	Workers              int     `json:"workers"`
+	SerialEventsPerSec   float64 `json:"serial_events_per_sec"`
+	ParallelEventsPerSec float64 `json:"parallel_events_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
 // BenchReport is the machine-readable benchmark result (BENCH_*.json): the
 // perf trajectory record CI archives on every run.
 type BenchReport struct {
@@ -80,6 +93,9 @@ type BenchReport struct {
 	// hot paths (rpc sampling, notify fan-out, balancer placement), measured
 	// by internal/hotpath and keyed by path name.
 	HotPaths map[string]HotPathStats `json:"hot_paths,omitempty"`
+	// Generator records serial-vs-parallel trace-generation throughput on
+	// the sharded simulation substrate (internal/hotpath.MeasureGenerator).
+	Generator *GeneratorStats `json:"generator,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }

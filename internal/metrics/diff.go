@@ -109,6 +109,15 @@ func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
 		}
 		throughput("hot_path."+name+".parallel_ops_per_sec", pp.ParallelOpsPerSec, np.ParallelOpsPerSec)
 	}
+
+	// Generator scaling appears in reports from schema generation 4 on;
+	// older baselines simply skip the comparison.
+	if prev.Generator != nil && next.Generator != nil {
+		throughput("generator.serial_events_per_sec",
+			prev.Generator.SerialEventsPerSec, next.Generator.SerialEventsPerSec)
+		throughput("generator.parallel_events_per_sec",
+			prev.Generator.ParallelEventsPerSec, next.Generator.ParallelEventsPerSec)
+	}
 	return d
 }
 

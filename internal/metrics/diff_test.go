@@ -30,6 +30,7 @@ func diffFixture() (BenchReport, BenchReport) {
 		HotPaths: map[string]HotPathStats{
 			"rpc.call": {ParallelOpsPerSec: 1.1e6},
 		},
+		Generator: &GeneratorStats{SerialEventsPerSec: 9e4, ParallelEventsPerSec: 2.5e5},
 	}
 	return prev, next
 }
@@ -58,6 +59,35 @@ func TestCompareBenchReports(t *testing.T) {
 		if strings.Contains(x.Metric, "Rare") {
 			t.Error("low-count op must be skipped as noise")
 		}
+		if strings.HasPrefix(x.Metric, "generator.") {
+			t.Error("generator section compared against a baseline that lacks one")
+		}
+	}
+}
+
+// TestCompareGeneratorSection covers the generator rates: present in both
+// reports they diff like any throughput metric; a missing side is skipped.
+func TestCompareGeneratorSection(t *testing.T) {
+	prev, next := diffFixture()
+	prev.Generator = &GeneratorStats{SerialEventsPerSec: 1e5, ParallelEventsPerSec: 4e5}
+	d := CompareBenchReports(prev, next, 0.25)
+	var serial, parallel *BenchDelta
+	for i := range d.Deltas {
+		switch d.Deltas[i].Metric {
+		case "generator.serial_events_per_sec":
+			serial = &d.Deltas[i]
+		case "generator.parallel_events_per_sec":
+			parallel = &d.Deltas[i]
+		}
+	}
+	if serial == nil || parallel == nil {
+		t.Fatal("generator deltas missing from comparison")
+	}
+	if serial.Regressed {
+		t.Error("10% serial dip flagged despite 25% tolerance")
+	}
+	if !parallel.Regressed {
+		t.Error("4e5 → 2.5e5 parallel generation collapse not flagged")
 	}
 }
 

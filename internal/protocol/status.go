@@ -19,6 +19,7 @@ const (
 	StatusUnavailable
 	StatusConflict
 	StatusQuota
+	StatusCancelled
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +43,8 @@ func (s Status) String() string {
 		return "conflict"
 	case StatusQuota:
 		return "quota exceeded"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -58,6 +61,9 @@ var (
 	ErrUnavailable = errors.New("protocol: service unavailable")
 	ErrConflict    = errors.New("protocol: conflict")
 	ErrQuota       = errors.New("protocol: quota exceeded")
+	// ErrCancelled marks a request dropped before its handler ran: the
+	// client disconnected mid-pipeline or the request's deadline passed.
+	ErrCancelled = errors.New("protocol: request cancelled")
 )
 
 // StatusOf maps an error to its wire status. Unknown errors map to
@@ -80,6 +86,8 @@ func StatusOf(err error) Status {
 		return StatusConflict
 	case errors.Is(err, ErrQuota):
 		return StatusQuota
+	case errors.Is(err, ErrCancelled):
+		return StatusCancelled
 	default:
 		return StatusUnavailable
 	}
@@ -106,6 +114,8 @@ func (s Status) Err() error {
 		return ErrConflict
 	case StatusQuota:
 		return ErrQuota
+	case StatusCancelled:
+		return ErrCancelled
 	default:
 		return ErrUnavailable
 	}

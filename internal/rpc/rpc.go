@@ -116,19 +116,9 @@ type atomicSource struct {
 	state atomic.Uint64
 }
 
-const splitmix64Gamma = 0x9E3779B97F4A7C15
-
-// splitmix64Mix is the splitmix64 output function: a bijective scramble of
-// the raw counter state.
-func splitmix64Mix(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
 // Uint64 implements rand.Source64.
 func (s *atomicSource) Uint64() uint64 {
-	return splitmix64Mix(s.state.Add(splitmix64Gamma))
+	return dist.Splitmix64(s.state.Add(dist.Splitmix64Gamma))
 }
 
 // Int63 implements rand.Source.
@@ -189,7 +179,7 @@ func NewServer(store *metadata.Store, cfg Config) *Server {
 		// reproduce Seed s+1 worker i-1 exactly. Still a pure function of
 		// (Seed, proc), so reproducibility holds.
 		src := &atomicSource{}
-		src.state.Store(splitmix64Mix(uint64(seed) + uint64(i)*splitmix64Gamma))
+		src.state.Store(dist.Splitmix64(uint64(seed) + uint64(i)*dist.Splitmix64Gamma))
 		s.procRNG[i] = rand.New(src)
 	}
 	rpcs := protocol.RPCs()

@@ -38,6 +38,11 @@ type Config struct {
 	ProcsPerMachine int
 	// Shards is the metadata shard count (default 10).
 	Shards int
+	// GatewayShards is the number of independently locked balancer shards in
+	// the gateway proxy (default 1: the exact global least-loaded rule).
+	// Higher values enable power-of-two-choices placement between shard
+	// heaps, which scales placement throughput with cores.
+	GatewayShards int
 	// DeltaLogLimit bounds per-volume delta logs (0 → metadata default).
 	DeltaLogLimit int
 	// RPCProcs is the DAL worker count (default 48).
@@ -70,7 +75,8 @@ type Cluster struct {
 	// balance and traffic mix live.
 	Metrics *metrics.Registry
 
-	byName map[string]*apiserver.Server
+	byName        map[string]*apiserver.Server
+	gatewayShards int
 }
 
 // NewCluster wires a cluster from cfg.
@@ -106,14 +112,19 @@ func NewCluster(cfg Config) *Cluster {
 		Metrics:   reg,
 	})
 
+	if cfg.GatewayShards <= 0 {
+		cfg.GatewayShards = 1
+	}
+
 	c := &Cluster{
-		Store:   store,
-		Blob:    blobStore,
-		Auth:    authSvc,
-		Broker:  broker,
-		RPC:     rpcTier,
-		Metrics: reg,
-		byName:  make(map[string]*apiserver.Server),
+		Store:         store,
+		Blob:          blobStore,
+		Auth:          authSvc,
+		Broker:        broker,
+		RPC:           rpcTier,
+		Metrics:       reg,
+		byName:        make(map[string]*apiserver.Server),
+		gatewayShards: cfg.GatewayShards,
 	}
 	deps := apiserver.Deps{
 		RPC:      rpcTier,
@@ -177,6 +188,16 @@ func (c *Cluster) PumpNotifications() int {
 	return n
 }
 
+// DropCachedToken evicts a token from every API server's validation cache —
+// the fleet-wide flush operators run alongside credential revocation, so a
+// revoked token stops authenticating immediately instead of after the cache
+// TTL (and independently of which servers happened to cache it).
+func (c *Cluster) DropCachedToken(token string) {
+	for _, s := range c.Servers {
+		s.DropToken(token)
+	}
+}
+
 // SweepUploadJobs runs the weekly uploadjob/multipart garbage collection.
 func (c *Cluster) SweepUploadJobs(now time.Time) (jobs, blobs int) {
 	jobs = c.Store.SweepUploadJobs(now)
@@ -221,7 +242,7 @@ func (c *Cluster) ListenAndServe(gatewayAddr string) (*TCPCluster, error) {
 	}
 	tc.listeners = append(tc.listeners, gln)
 	tc.GateAddr = gln.Addr()
-	tc.Proxy = gateway.NewProxy(backends)
+	tc.Proxy = gateway.NewShardedProxy(c.gatewayShards, backends)
 	tc.Proxy.Balancer().Instrument(c.Metrics)
 	go tc.Proxy.Serve(gln) //nolint:errcheck
 	return tc, nil

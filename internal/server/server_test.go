@@ -287,6 +287,45 @@ func TestDirectReconnectClosesPreviousSession(t *testing.T) {
 	}
 }
 
+// TestTCPShardedGateway drives real connections through a gateway running
+// more than one balancer shard: the power-of-two-choices proxy must place,
+// serve and drain sessions exactly like the single-shard rule does.
+func TestTCPShardedGateway(t *testing.T) {
+	c := NewCluster(Config{
+		Machines:        []string{"alpha", "beta", "gamma", "delta"},
+		ProcsPerMachine: 2,
+		Shards:          4,
+		GatewayShards:   2,
+		InlineData:      true,
+		Seed:            7,
+	})
+	tc, err := c.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	if got := tc.Proxy.Balancer().NumShards(); got != 2 {
+		t.Fatalf("proxy balancer shards = %d, want 2", got)
+	}
+	for u := protocol.UserID(300); u < 308; u++ {
+		cl := dialClient(t, tc, u)
+		root, ok := cl.RootVolume()
+		if !ok {
+			t.Fatalf("user %d has no root volume", u)
+		}
+		if _, _, err := cl.Upload(root, 0, "f.txt", []byte("sharded gateway payload")); err != nil {
+			t.Fatalf("upload through sharded gateway: %v", err)
+		}
+	}
+	var active int
+	for _, n := range tc.Proxy.Balancer().Active() {
+		active += n
+	}
+	if active != 8 {
+		t.Errorf("balancer tracks %d active sessions, want 8", active)
+	}
+}
+
 func TestTCPSessionsSpreadAcrossServers(t *testing.T) {
 	tc, c := newTCPCluster(t)
 	for u := protocol.UserID(100); u < 106; u++ {

@@ -7,13 +7,20 @@ package sim
 
 import (
 	"container/heap"
+	"sync/atomic"
 	"time"
 )
 
 // Engine is a single-threaded discrete-event scheduler. It is deliberately
-// not safe for concurrent use: determinism is the point.
+// not safe for concurrent use: determinism is the point. The one concession
+// to concurrency is the clock: the current time is mirrored into an atomic
+// offset so Clock closures handed to transports stay race-free when another
+// shard's goroutine (or an observer thread) stamps a span while this shard
+// advances — see ShardedEngine.
 type Engine struct {
+	base   time.Time
 	now    time.Time
+	nowOff atomic.Int64 // now == base.Add(nowOff); the lock-free clock mirror
 	events eventHeap
 	seq    uint64
 	ran    uint64
@@ -21,15 +28,24 @@ type Engine struct {
 
 // New creates an engine starting at the given virtual time.
 func New(start time.Time) *Engine {
-	return &Engine{now: start}
+	return &Engine{base: start, now: start}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Time { return e.now }
 
-// Clock returns a closure suitable for client.DirectTransport.
+// setNow advances the clock and its atomic mirror together.
+func (e *Engine) setNow(t time.Time) {
+	e.now = t
+	e.nowOff.Store(int64(t.Sub(e.base)))
+}
+
+// Clock returns a closure suitable for client.DirectTransport. The closure
+// reads the atomic clock mirror, so it is safe to call from any goroutine
+// while the engine runs (transports stamp spans from worker goroutines under
+// the sharded engine).
 func (e *Engine) Clock() func() time.Time {
-	return func() time.Time { return e.now }
+	return func() time.Time { return e.base.Add(time.Duration(e.nowOff.Load())) }
 }
 
 // At schedules fn at time t. Events scheduled in the past run at the current
@@ -57,7 +73,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
+	e.setNow(ev.at)
 	e.ran++
 	ev.fn()
 	return true
@@ -71,9 +87,17 @@ func (e *Engine) RunUntil(horizon time.Time) uint64 {
 		e.Step()
 	}
 	if e.now.Before(horizon) {
-		e.now = horizon
+		e.setNow(horizon)
 	}
 	return e.ran - start
+}
+
+// NextEventAt peeks at the earliest queued event time.
+func (e *Engine) NextEventAt() (time.Time, bool) {
+	if e.events.Len() == 0 {
+		return time.Time{}, false
+	}
+	return e.events[0].at, true
 }
 
 // Run drains the queue completely and returns the number of events run.

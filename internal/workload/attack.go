@@ -85,10 +85,13 @@ func (g *Generator) scheduleAttack(a Attack) {
 	}
 	rng := rand.New(rand.NewSource(g.cfg.Seed + int64(a.Day)*104729))
 
-	g.eng.At(start, func() {
+	// Attacks are cluster-scoped, not per-user: every attack event runs on
+	// shard 0, so the whole storm keeps one deterministic event order.
+	eng := g.shard0().eng
+	eng.At(start, func() {
 		// The attacker seeds the content: a ~100 KB payload every attack
 		// client downloads repeatedly.
-		tr := client.NewDirectTransport(g.c.LeastLoaded, g.eng.Clock())
+		tr := client.NewDirectTransport(g.c.LeastLoaded, eng.Clock())
 		seeder := client.New(tr)
 		if err := seeder.Connect(token); err != nil {
 			return
@@ -107,7 +110,7 @@ func (g *Generator) scheduleAttack(a Attack) {
 		// Session storm: Poisson arrivals over the window.
 		for i := 0; i < sessions; i++ {
 			offset := time.Duration(rng.Float64() * float64(a.Duration))
-			g.eng.At(start.Add(offset), func() {
+			eng.At(start.Add(offset), func() {
 				g.attackSession(token, root, node.ID, opsPerSession, rng.Int63())
 			})
 		}
@@ -115,9 +118,14 @@ func (g *Generator) scheduleAttack(a Attack) {
 		// Operator response at the end of the window: revoke credentials and
 		// delete the content. In-flight sessions fail from here on, so the
 		// visible activity decays within the hour, as observed.
-		g.eng.At(start.Add(a.Duration), func() {
+		eng.At(start.Add(a.Duration), func() {
 			g.c.Auth.RevokeUser(attackerID)
-			cleanup := client.New(client.NewDirectTransport(g.c.LeastLoaded, g.eng.Clock()))
+			// Flush the fleet's validation caches along with the revocation,
+			// or servers with a warm cache would keep admitting the leeches
+			// for the cache TTL (and which servers are warm depends on
+			// placement history — the determinism contract forbids that).
+			g.c.DropCachedToken(token)
+			cleanup := client.New(client.NewDirectTransport(g.c.LeastLoaded, eng.Clock()))
 			// The operator path uses a fresh token (admin-equivalent).
 			adminToken, err := g.c.Auth.Issue(attackerID)
 			if err != nil {
@@ -136,15 +144,16 @@ func (g *Generator) scheduleAttack(a Attack) {
 // attackSession is one leeching client: authenticate with the shared
 // credentials, download the payload over and over, disconnect.
 func (g *Generator) attackSession(token string, vol protocol.VolumeID, node protocol.NodeID, ops int, seed int64) {
+	sh := g.shard0()
 	rng := rand.New(rand.NewSource(seed))
-	tr := client.NewDirectTransport(g.c.LeastLoaded, g.eng.Clock())
+	tr := client.NewDirectTransport(g.c.LeastLoaded, sh.eng.Clock())
 	cli := client.New(tr)
 	if err := cli.Connect(token); err != nil {
-		g.totals.FailedAuths++
+		sh.totals.FailedAuths++
 		return
 	}
-	g.totals.Sessions++
-	g.totals.AttackSessions++
+	sh.totals.Sessions++
+	sh.totals.AttackSessions++
 
 	var left = ops
 	var step func()
@@ -159,7 +168,7 @@ func (g *Generator) attackSession(token string, vol protocol.VolumeID, node prot
 			cli.Disconnect() //nolint:errcheck
 			return
 		}
-		g.eng.After(time.Duration(rng.ExpFloat64()*2*float64(time.Second)), step)
+		sh.eng.After(time.Duration(rng.ExpFloat64()*2*float64(time.Second)), step)
 	}
 	step()
 }

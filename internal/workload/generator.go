@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -25,6 +26,15 @@ type Config struct {
 	Start time.Time
 	// Seed drives all generator randomness.
 	Seed int64
+	// Workers is the number of parallel generator shards, each a
+	// single-threaded event loop owning a stable subset of the population
+	// (0 → GOMAXPROCS). Workers=1 reproduces the serial generator's event
+	// stream bit-for-bit; any fixed (Seed, Workers) reproduces the same
+	// Totals and per-user op streams regardless of goroutine interleaving.
+	Workers int
+	// Epoch bounds cross-shard virtual-clock skew under Workers > 1
+	// (0 → sim.DefaultEpoch). Ignored semantically at Workers=1.
+	Epoch time.Duration
 	// Profile overrides the calibrated defaults.
 	Profile *Profile
 	// Attacks injects DDoS events; nil means DefaultAttacks. Use an empty
@@ -46,25 +56,62 @@ type Totals struct {
 	AttackSessions uint64
 }
 
+// add merges per-shard totals into the run summary.
+func (t *Totals) add(o Totals) {
+	t.Sessions += o.Sessions
+	t.FailedAuths += o.FailedAuths
+	t.Uploads += o.Uploads
+	t.Downloads += o.Downloads
+	t.Deletes += o.Deletes
+	t.AttackSessions += o.AttackSessions
+}
+
+// genShard is the per-shard generator state: one single-threaded event loop
+// plus every mutable source the serial generator used to share. Each user is
+// pinned to one shard; a shard's state is only ever touched from its own
+// event goroutine, so shards need no locks and each shard's stream is
+// deterministic in isolation.
+type genShard struct {
+	eng *sim.Engine
+	// zipf and bigZipf draw popular-content ranks. Per-shard streams seeded
+	// from (Seed, shard) keep draws lock-free and reproducible; shard 0
+	// carries the legacy stream so Workers=1 matches the serial generator.
+	zipf    *dist.Zipf
+	bigZipf *dist.Zipf
+	// users lists the shard's population in global creation order (share
+	// targets are drawn from here, keeping cross-user interactions inside
+	// the shard's deterministic event order).
+	users  []*user
+	totals Totals
+}
+
 // Generator drives the synthetic population.
 type Generator struct {
 	cfg  Config
 	prof *Profile
 	c    *server.Cluster
-	eng  *sim.Engine
+	se   *sim.ShardedEngine
 	end  time.Time
 
-	rng     *rand.Rand
-	zipf    *dist.Zipf
-	bigZipf *dist.Zipf
+	// rng is the population-build source. It is only drawn from during the
+	// serial setup phase of Run (class assignment), never from shard events.
+	rng *rand.Rand
 
+	shards []*genShard
 	users  []*user
 	totals Totals
+
+	// nextPump and nextGC track the cluster-wide cadence work run at epoch
+	// boundaries when Workers > 1 (at Workers=1 the cadences are ordinary
+	// shard-0 events, preserving the serial stream).
+	nextPump time.Time
+	nextGC   time.Time
 }
 
 // user is the per-account simulation state.
 type user struct {
 	id     protocol.UserID
+	sh     *genShard
 	class  Class
 	par    classParams
 	weight float64
@@ -108,8 +155,21 @@ type fileRef struct {
 	created time.Time
 }
 
-// New creates a generator bound to a cluster and engine.
-func New(cfg Config, c *server.Cluster, eng *sim.Engine) *Generator {
+// shardSeed derives a per-shard seed for a generator random source. Shard 0
+// keeps the legacy seed+base stream so Workers=1 reproduces the pre-shard
+// serial generator bit-for-bit; higher shards scramble (seed+base, shard)
+// through splitmix64 so nearby seeds do not alias across shards (the rpc
+// tier's per-proc idiom).
+func shardSeed(seed, base int64, shard int) int64 {
+	if shard == 0 {
+		return seed + base
+	}
+	return int64(dist.Splitmix64(uint64(seed+base) + uint64(shard)*dist.Splitmix64Gamma))
+}
+
+// New creates a generator bound to a cluster. The generator owns its sharded
+// event engine, sized by cfg.Workers; Engine exposes it for event counting.
+func New(cfg Config, c *server.Cluster) *Generator {
 	if cfg.Users <= 0 {
 		cfg.Users = 2000
 	}
@@ -122,6 +182,9 @@ func New(cfg Config, c *server.Cluster, eng *sim.Engine) *Generator {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Profile == nil {
 		cfg.Profile = DefaultProfile()
 	}
@@ -132,7 +195,7 @@ func New(cfg Config, c *server.Cluster, eng *sim.Engine) *Generator {
 		cfg:  cfg,
 		prof: cfg.Profile,
 		c:    c,
-		eng:  eng,
+		se:   sim.NewSharded(cfg.Start, cfg.Workers, cfg.Epoch),
 		end:  cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -145,20 +208,38 @@ func New(cfg Config, c *server.Cluster, eng *sim.Engine) *Generator {
 			zipfN = 500
 		}
 	}
-	g.zipf = dist.NewZipf(rand.New(rand.NewSource(cfg.Seed+7)), g.prof.ZipfS, zipfN)
 	bigN := uint64(cfg.Users) / 8
 	if bigN < 60 {
 		bigN = 60
 	}
-	g.bigZipf = dist.NewZipf(rand.New(rand.NewSource(cfg.Seed+13)), 1.25, bigN)
+	g.shards = make([]*genShard, g.se.NumShards())
+	for i := range g.shards {
+		g.shards[i] = &genShard{
+			eng: g.se.Shard(i),
+			zipf: dist.NewZipf(rand.New(rand.NewSource(
+				shardSeed(cfg.Seed, 7, i))), g.prof.ZipfS, zipfN),
+			bigZipf: dist.NewZipf(rand.New(rand.NewSource(
+				shardSeed(cfg.Seed, 13, i))), 1.25, bigN),
+		}
+	}
 	return g
 }
+
+// Engine returns the generator's sharded event engine (event counts,
+// epoch-boundary hooks).
+func (g *Generator) Engine() *sim.ShardedEngine { return g.se }
 
 // Totals returns the run summary.
 func (g *Generator) Totals() Totals { return g.totals }
 
 // Run builds the population, schedules everything and drains the engine. It
 // returns the run totals.
+//
+// Population build and scheduling are serial (a pure function of Seed, in
+// global user order); only the event drain is parallel. Each user's events
+// run on the shard owning it, so the per-user op stream is a function of
+// (Seed, Workers) alone, and the merged Totals are reproducible regardless
+// of how shard goroutines interleave.
 func (g *Generator) Run() Totals {
 	g.users = make([]*user, g.cfg.Users)
 	for i := range g.users {
@@ -168,6 +249,8 @@ func (g *Generator) Run() Totals {
 			rng:   rand.New(rand.NewSource(g.cfg.Seed + int64(i)*7919)),
 			dirs:  make(map[protocol.VolumeID][]protocol.NodeID),
 		}
+		u.sh = g.shards[g.se.ShardFor(uint64(u.id))]
+		u.sh.users = append(u.sh.users, u)
 		u.par = params(u.class)
 		u.weight = u.par.weight.Sample(u.rng)
 		u.sizeBias = clamp(math.Pow(u.weight, 0.4), 0.5, 4)
@@ -192,11 +275,27 @@ func (g *Generator) Run() Totals {
 		g.scheduleAttack(a)
 	}
 
-	// Broker deliveries and uploadjob GC happen on their production cadence.
-	g.schedulePump()
-	g.scheduleGC()
+	// Broker deliveries and uploadjob GC happen on their production cadence:
+	// as ordinary shard-0 events at Workers=1 (bit-for-bit the serial
+	// stream), as serialized epoch-boundary work under parallel shards —
+	// cluster-wide sweeps must not run concurrently with shard events.
+	if g.se.NumShards() == 1 {
+		g.schedulePump()
+		g.scheduleGC()
+	} else {
+		g.nextPump = g.cfg.Start.Add(10 * time.Minute)
+		g.nextGC = g.cfg.Start.Add(24 * time.Hour)
+		// A sentinel event parks the final epoch at the window end: epochs
+		// only advance while events remain, and without it a population that
+		// goes quiet early would strand the trailing cadences below.
+		g.se.Shard(0).At(g.end, func() {})
+		g.se.AtEpochEnd(g.runCadences)
+	}
 
-	g.eng.Run()
+	g.se.Run()
+	for _, sh := range g.shards {
+		g.totals.add(sh.totals)
+	}
 	return g.totals
 }
 
@@ -249,17 +348,18 @@ func (g *Generator) preseed(u *user) {
 // deterministic extension and size) or unique content. Large candidate
 // files get their own popular universe — everyone stores the same albums,
 // movies and installers, which is where the byte-level dedup savings of
-// §5.3 come from.
+// §5.3 come from. Popularity ranks come from the user's shard-local Zipf
+// sources, so concurrent shards never contend (or race) on one stream.
 func (g *Generator) pickHash(u *user, ext **ExtProfile, size *uint64) protocol.Hash {
 	if *size > 5<<20 && u.rng.Float64() < 0.35 {
-		rank := g.bigZipf.Rank()
+		rank := u.sh.bigZipf.Rank()
 		popRng := rand.New(rand.NewSource(int64(rank) * 31))
 		*ext = g.prof.ExtByName(bigContentExts[popRng.Intn(len(bigContentExts))])
 		*size = uint64(dist.LognormalFromMedian(25<<20, 3).Sample(popRng))
 		return protocol.HashBytes([]byte(fmt.Sprintf("popbig-%d", rank)))
 	}
 	if u.rng.Float64() < g.prof.PopularContentP {
-		rank := g.zipf.Rank()
+		rank := u.sh.zipf.Rank()
 		popRng := rand.New(rand.NewSource(int64(rank)))
 		*ext = g.prof.PickPopularExtension(popRng)
 		*size = sampleSize(*ext, popRng)
@@ -272,22 +372,53 @@ func (g *Generator) pickHash(u *user, ext **ExtProfile, size *uint64) protocol.H
 // bigContentExts are the types of widely duplicated large contents.
 var bigContentExts = []string{"mp4", "avi", "mkv", "zip", "tar", "mp3"}
 
+// shard0 returns the shard carrying cluster-scoped work (attacks, cadences).
+func (g *Generator) shard0() *genShard { return g.shards[0] }
+
 func (g *Generator) schedulePump() {
-	g.eng.After(10*time.Minute, func() {
+	eng := g.shard0().eng
+	eng.After(10*time.Minute, func() {
 		g.c.PumpNotifications()
-		if g.eng.Now().Before(g.end) {
+		if eng.Now().Before(g.end) {
 			g.schedulePump()
 		}
 	})
 }
 
 func (g *Generator) scheduleGC() {
-	g.eng.After(24*time.Hour, func() {
-		g.c.SweepUploadJobs(g.eng.Now())
-		if g.eng.Now().Before(g.end) {
+	eng := g.shard0().eng
+	eng.After(24*time.Hour, func() {
+		g.c.SweepUploadJobs(eng.Now())
+		if eng.Now().Before(g.end) {
 			g.scheduleGC()
 		}
 	})
+}
+
+// runCadences is the epoch-boundary hook under parallel shards: it runs the
+// notification pump and the uploadjob GC whenever their cadence fell due
+// inside the closed epoch, serialized with every shard quiescent. It mirrors
+// the serial chains exactly: each fires at every mark up to and including
+// the first mark at or past the window end (the serial events fire at their
+// scheduled time and only the reschedule is guarded by `now < end`), then
+// the chain stops. A zero mark is a finished chain.
+func (g *Generator) runCadences(now time.Time) {
+	for !g.nextPump.IsZero() && !g.nextPump.After(now) {
+		g.c.PumpNotifications()
+		if !g.nextPump.Before(g.end) {
+			g.nextPump = time.Time{}
+			break
+		}
+		g.nextPump = g.nextPump.Add(10 * time.Minute)
+	}
+	for !g.nextGC.IsZero() && !g.nextGC.After(now) {
+		g.c.SweepUploadJobs(g.nextGC)
+		if !g.nextGC.Before(g.end) {
+			g.nextGC = time.Time{}
+			break
+		}
+		g.nextGC = g.nextGC.Add(24 * time.Hour)
+	}
 }
 
 // hourOf returns the fractional hour-of-day and weekday of t.
@@ -295,8 +426,14 @@ func hourOf(t time.Time) (float64, int) {
 	return float64(t.Hour()) + float64(t.Minute())/60, int(t.Weekday())
 }
 
+// maxThinningAttempts bounds the session-arrival thinning loop.
+const maxThinningAttempts = 1000
+
 // scheduleNextSession draws the next session start by thinning an
-// exponential arrival stream against the diurnal profile.
+// exponential arrival stream against the diurnal profile. The final attempt
+// accepts its draw unconditionally: a pathological profile (a near-zero
+// diurnal trough) must delay the next session, not silently drop the user
+// for the rest of the trace window.
 func (g *Generator) scheduleNextSession(u *user, from time.Time) {
 	meanGap := 24 * time.Hour
 	if rate := u.par.sessionsPerDay * u.rateBoost; rate > 0 {
@@ -304,16 +441,16 @@ func (g *Generator) scheduleNextSession(u *user, from time.Time) {
 	}
 	const fMax = 1.15 // peak diurnal factor incl. Monday boost
 	t := from
-	for i := 0; i < 1000; i++ {
+	for i := 0; i < maxThinningAttempts; i++ {
 		gap := time.Duration(u.rng.ExpFloat64() * float64(meanGap))
 		t = t.Add(gap)
 		if t.After(g.end) {
 			return // user never connects again inside the window
 		}
 		h, wd := hourOf(t)
-		if u.rng.Float64() < g.prof.Sessions.Factor(h, wd)/fMax {
+		if i == maxThinningAttempts-1 || u.rng.Float64() < g.prof.Sessions.Factor(h, wd)/fMax {
 			at := t
-			g.eng.At(at, func() { g.startSession(u) })
+			u.sh.eng.At(at, func() { g.startSession(u) })
 			return
 		}
 	}
@@ -321,33 +458,34 @@ func (g *Generator) scheduleNextSession(u *user, from time.Time) {
 
 // startSession opens a session for u and schedules its activity.
 func (g *Generator) startSession(u *user) {
+	eng := u.sh.eng
 	if u.online {
 		// The previous session is still running (overlap after a long
 		// active burst); try again later.
-		g.scheduleNextSession(u, g.eng.Now())
+		g.scheduleNextSession(u, eng.Now())
 		return
 	}
 	if u.cli == nil {
-		tr := client.NewDirectTransport(g.c.LeastLoaded, g.eng.Clock())
+		tr := client.NewDirectTransport(g.c.LeastLoaded, eng.Clock())
 		u.cli = client.New(tr)
 	}
 	if err := u.cli.Connect(u.token); err != nil {
 		// Auth failures happen (§7.3: 2.76%); the desktop client retries on
 		// its next scheduled connection.
-		g.totals.FailedAuths++
-		g.scheduleNextSession(u, g.eng.Now())
+		u.sh.totals.FailedAuths++
+		g.scheduleNextSession(u, eng.Now())
 		return
 	}
 	u.online = true
-	g.totals.Sessions++
+	u.sh.totals.Sessions++
 
-	now := g.eng.Now()
+	now := eng.Now()
 	length := g.sessionLength(u)
 	sessionEnd := now.Add(length)
 
 	// Sub-second NAT-churn sessions do nothing but exist (§7.3).
 	if length < 5*time.Second {
-		g.eng.At(sessionEnd, func() { g.endSession(u) })
+		eng.At(sessionEnd, func() { g.endSession(u) })
 		return
 	}
 
@@ -386,9 +524,9 @@ func (g *Generator) startSession(u *user) {
 			sessionEnd = now.Add(need)
 		}
 		run := &sessionRun{g: g, u: u, end: sessionEnd, opsLeft: ops}
-		g.eng.After(g.intraGap(u), run.step)
+		eng.After(g.intraGap(u), run.step)
 	}
-	g.eng.At(sessionEnd, func() { g.endSession(u) })
+	eng.At(sessionEnd, func() { g.endSession(u) })
 }
 
 // scaleWeight converts the user's long-run weight into a per-session ops
@@ -416,7 +554,7 @@ func (g *Generator) endSession(u *user) {
 	}
 	u.online = false
 	u.cli.Disconnect() //nolint:errcheck
-	g.scheduleNextSession(u, g.eng.Now())
+	g.scheduleNextSession(u, u.sh.eng.Now())
 }
 
 func (g *Generator) sessionLength(u *user) time.Duration {

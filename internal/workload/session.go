@@ -46,7 +46,7 @@ type sessionRun struct {
 
 func (s *sessionRun) step() {
 	g, u := s.g, s.u
-	now := g.eng.Now()
+	now := u.sh.eng.Now()
 	if !u.online || s.opsLeft <= 0 || !now.Before(s.end) {
 		return // the scheduled endSession event handles disconnect
 	}
@@ -61,7 +61,7 @@ func (s *sessionRun) step() {
 	if s.burstLeft <= 0 {
 		gap = g.interGap(u)
 	}
-	g.eng.After(gap, s.step)
+	u.sh.eng.After(gap, s.step)
 }
 
 // newBurst picks the next burst's action, volume and directory.
@@ -195,7 +195,7 @@ func (s *sessionRun) doUpload() {
 			h, size = currentContent(u, f)
 		}
 		u.cli.UploadSized(f.vol, parentOf(u, f), f.name, h, size, wireSize(f.ext, size)) //nolint:errcheck
-		g.totals.Uploads++
+		u.sh.totals.Uploads++
 		return
 	}
 
@@ -213,7 +213,7 @@ func (s *sessionRun) doUpload() {
 		h := protocol.HashBytes([]byte(fmt.Sprintf("u%d-v%d", u.id, u.seq)))
 		size := versionedSize(u, f, r)
 		u.cli.UploadSized(f.vol, parentOf(u, f), f.name, h, size, wireSize(f.ext, size)) //nolint:errcheck
-		g.totals.Uploads++
+		u.sh.totals.Uploads++
 		return
 	}
 
@@ -230,8 +230,8 @@ func (s *sessionRun) doUpload() {
 	if err != nil {
 		return
 	}
-	g.totals.Uploads++
-	f := fileRef{vol: vol, node: node.ID, parent: dir, name: name, ext: ext, created: g.eng.Now()}
+	u.sh.totals.Uploads++
+	f := fileRef{vol: vol, node: node.ID, parent: dir, name: name, ext: ext, created: u.sh.eng.Now()}
 	u.remember(f)
 	u.files = append(u.files, f)
 
@@ -242,12 +242,12 @@ func (s *sessionRun) doUpload() {
 		secs := dist.LognormalFromMedian(90, 5).Sample(r)
 		nodeID := node.ID
 		sessionID := u.cli.Session()
-		g.eng.After(time.Duration(secs*float64(time.Second)), func() {
+		u.sh.eng.After(time.Duration(secs*float64(time.Second)), func() {
 			// Only within the same session: the paired device reacted to the
 			// push while this connection was alive.
 			if u.online && u.cli.Session() == sessionID {
 				if _, err := u.cli.Download(vol, nodeID); err == nil {
-					g.totals.Downloads++
+					u.sh.totals.Downloads++
 				}
 			}
 		})
@@ -258,7 +258,7 @@ func (s *sessionRun) doUpload() {
 // comes uniformly from the mirror with a bias towards the user's first
 // files, which become long-tail favorites (Fig. 3b inset).
 func (s *sessionRun) doDownload() {
-	g, u := s.g, s.u
+	u := s.u
 	r := u.rng
 	var vol protocol.VolumeID
 	var node protocol.NodeID
@@ -291,7 +291,7 @@ func (s *sessionRun) doDownload() {
 		vol, node, stale = f.vol, f.node, i
 	}
 	if _, err := u.cli.Download(vol, node); err == nil {
-		g.totals.Downloads++
+		u.sh.totals.Downloads++
 		// A read keeps the file warm in the user's working set, so later
 		// deletes and edits follow reads (the DAR/WAR chains of Fig. 3b).
 		if r.Float64() < 0.55 {
@@ -299,7 +299,7 @@ func (s *sessionRun) doDownload() {
 				if info, ok := m.Nodes[node]; ok {
 					u.remember(fileRef{vol: vol, node: node, parent: info.Parent,
 						name: info.Name, ext: s.g.prof.ExtByName(extFromName(info.Name)),
-						created: g.eng.Now()})
+						created: u.sh.eng.Now()})
 				}
 			}
 		}
@@ -312,7 +312,7 @@ func (s *sessionRun) doDownload() {
 // doDelete unlinks a node, biased towards recent files (§5.2: 17% of files
 // die within 8 hours). Occasionally a directory goes, cascading.
 func (s *sessionRun) doDelete() {
-	g, u := s.g, s.u
+	u := s.u
 	r := u.rng
 	if dirs := u.dirs[s.burstVol]; len(dirs) > 0 && r.Float64() < 0.12 {
 		i := r.Intn(len(dirs))
@@ -320,7 +320,7 @@ func (s *sessionRun) doDelete() {
 		if err := u.cli.Unlink(s.burstVol, dir); err == nil {
 			u.dirs[s.burstVol] = append(dirs[:i], dirs[i+1:]...)
 			u.forgetDir(dir)
-			g.totals.Deletes++
+			u.sh.totals.Deletes++
 		}
 		return
 	}
@@ -340,7 +340,7 @@ func (s *sessionRun) doDelete() {
 		vol, node = f.vol, f.node
 	}
 	if err := u.cli.Unlink(vol, node); err == nil {
-		g.totals.Deletes++
+		u.sh.totals.Deletes++
 	}
 	u.dropFile(node)
 }
@@ -388,12 +388,16 @@ func (s *sessionRun) doUDF() {
 }
 
 func (s *sessionRun) doShare() {
-	g, u := s.g, s.u
+	u := s.u
 	r := u.rng
-	if len(g.users) < 2 {
+	// Share targets come from the user's own shard: cross-user interactions
+	// stay inside one deterministic event order, which is what makes the
+	// trace reproducible under parallel shards. At Workers=1 the shard
+	// population is the whole population, exactly the serial behavior.
+	if len(u.sh.users) < 2 {
 		return
 	}
-	to := g.users[r.Intn(len(g.users))]
+	to := u.sh.users[r.Intn(len(u.sh.users))]
 	if to.id == u.id {
 		return
 	}

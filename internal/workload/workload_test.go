@@ -5,23 +5,28 @@ import (
 	"testing"
 	"time"
 
+	"u1/internal/dist"
 	"u1/internal/protocol"
 	"u1/internal/server"
-	"u1/internal/sim"
 	"u1/internal/trace"
 )
 
-// runSmall generates a small trace and returns the generator, collector and
-// cluster for inspection.
+// runSmall generates a small trace with the default worker count and returns
+// the generator, collector and cluster for inspection.
 func runSmall(t *testing.T, users, days int, attacks []Attack, seed int64) (*Generator, *trace.Collector, *server.Cluster) {
+	t.Helper()
+	return runSmallWorkers(t, users, days, attacks, seed, 0)
+}
+
+// runSmallWorkers is runSmall with an explicit generator shard count.
+func runSmallWorkers(t *testing.T, users, days int, attacks []Attack, seed int64, workers int) (*Generator, *trace.Collector, *server.Cluster) {
 	t.Helper()
 	cluster := server.NewCluster(server.Config{Seed: seed})
 	start := PaperStart
 	col := trace.NewCollector(trace.Config{Start: start, Days: days, Shards: cluster.Store.NumShards(), Seed: seed})
 	cluster.AddAPIObserver(col.APIObserver())
 	cluster.AddRPCObserver(col.RPCObserver())
-	eng := sim.New(start)
-	g := New(Config{Users: users, Days: days, Start: start, Seed: seed, Attacks: attacks}, cluster, eng)
+	g := New(Config{Users: users, Days: days, Start: start, Seed: seed, Workers: workers, Attacks: attacks}, cluster)
 	g.Run()
 	return g, col, cluster
 }
@@ -82,6 +87,159 @@ func TestGeneratorDeterministic(t *testing.T) {
 	}
 	if col1.Len() != col2.Len() {
 		t.Errorf("record counts differ: %d vs %d", col1.Len(), col2.Len())
+	}
+}
+
+// TestWorkersOneMatchesPreShardGolden pins the Workers=1 determinism
+// contract: the sharded generator with one shard reproduces the pre-shard
+// serial generator bit-for-bit. The golden values were captured from the
+// serial implementation (PR 3 tree) at these exact configurations; a drift
+// here means the legacy stream changed, not just a refactor.
+func TestWorkersOneMatchesPreShardGolden(t *testing.T) {
+	golden := []struct {
+		users, days int
+		seed        int64
+		want        Totals
+		records     int
+	}{
+		{80, 2, 42, Totals{Users: 80, Sessions: 145, Uploads: 28, Deletes: 9}, 1045},
+		{150, 3, 11, Totals{Users: 150, Sessions: 448, Uploads: 252, Downloads: 90, Deletes: 40}, 3712},
+	}
+	for _, c := range golden {
+		g, col, _ := runSmallWorkers(t, c.users, c.days, []Attack{}, c.seed, 1)
+		if got := g.Totals(); got != c.want {
+			t.Errorf("users=%d days=%d seed=%d: totals = %+v, want pre-shard golden %+v",
+				c.users, c.days, c.seed, got, c.want)
+		}
+		if col.Len() != c.records {
+			t.Errorf("users=%d days=%d seed=%d: %d records, want pre-shard golden %d",
+				c.users, c.days, c.seed, col.Len(), c.records)
+		}
+	}
+}
+
+// TestParallelGeneratorDeterministic pins the relaxed contract: for a fixed
+// (Seed, Workers) the Totals and the record counts are reproducible
+// regardless of how the shard goroutines interleave.
+func TestParallelGeneratorDeterministic(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		g1, col1, _ := runSmallWorkers(t, 120, 2, []Attack{}, 77, workers)
+		g2, col2, _ := runSmallWorkers(t, 120, 2, []Attack{}, 77, workers)
+		if g1.Totals() != g2.Totals() {
+			t.Errorf("workers=%d: totals differ across runs:\n%+v\n%+v", workers, g1.Totals(), g2.Totals())
+		}
+		if col1.Len() != col2.Len() {
+			t.Errorf("workers=%d: record counts differ: %d vs %d", workers, col1.Len(), col2.Len())
+		}
+		if g1.Totals().Sessions == 0 {
+			t.Errorf("workers=%d: degenerate run, no sessions", workers)
+		}
+	}
+}
+
+// TestParallelDeterministicWithFailuresAndAttacks pins the hard case of the
+// contract: SSO failure injection and a DDoS storm both cross shard
+// boundaries through shared services (auth, fleet caches, least-loaded
+// placement). Failures are a pure function of (Seed, user, now) and
+// revocation flushes the fleet caches, so two runs at the same
+// (Seed, Workers) must still agree exactly.
+func TestParallelDeterministicWithFailuresAndAttacks(t *testing.T) {
+	run := func() (Totals, int) {
+		cluster := server.NewCluster(server.Config{Seed: 3, AuthFailureRate: 0.0276})
+		col := trace.NewCollector(trace.Config{Start: PaperStart, Days: 2, Shards: cluster.Store.NumShards(), Seed: 3})
+		cluster.AddAPIObserver(col.APIObserver())
+		cluster.AddRPCObserver(col.RPCObserver())
+		g := New(Config{
+			Users: 150, Days: 2, Start: PaperStart, Seed: 3, Workers: 4,
+			Attacks: []Attack{{Day: 0, Hour: 6, Duration: time.Hour, APIFactor: 30, AuthFactor: 8}},
+		}, cluster)
+		g.Run()
+		return g.Totals(), col.Len()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 {
+		t.Errorf("totals differ across runs:\n%+v\n%+v", t1, t2)
+	}
+	if n1 != n2 {
+		t.Errorf("record counts differ: %d vs %d", n1, n2)
+	}
+	if t1.FailedAuths == 0 {
+		t.Error("failure injection never fired; the hard case was not exercised")
+	}
+	if t1.AttackSessions == 0 {
+		t.Error("attack never ran; the hard case was not exercised")
+	}
+}
+
+// TestTrailingCadencesRunThroughWindowEnd pins the epoch-hook cadence
+// arithmetic against the serial chains: the serial GC event for a 1-day
+// window fires exactly once, at t == end (the event fires; only its
+// reschedule is guarded by now < end). The boundary hook must do the same —
+// an exclusive end guard used to skip that final sweep entirely.
+func TestTrailingCadencesRunThroughWindowEnd(t *testing.T) {
+	cluster := server.NewCluster(server.Config{Seed: 1})
+	g := New(Config{Users: 1, Days: 1, Seed: 1, Workers: 2, Attacks: []Attack{}}, cluster)
+	g.nextPump = g.cfg.Start.Add(10 * time.Minute)
+	g.nextGC = g.cfg.Start.Add(24 * time.Hour)
+	g.runCadences(g.end) // the sentinel event parks the last epoch at/after end
+	if !g.nextGC.IsZero() {
+		t.Errorf("GC chain did not run its final sweep at the window end: next = %v", g.nextGC)
+	}
+	if !g.nextPump.IsZero() {
+		t.Errorf("pump chain did not run through the window end: next = %v", g.nextPump)
+	}
+}
+
+// TestParallelGeneratorCoversShards checks that a parallel run actually
+// spreads the population across shard event loops (the stable user→shard
+// hash must not collapse).
+func TestParallelGeneratorCoversShards(t *testing.T) {
+	g, _, _ := runSmallWorkers(t, 120, 1, []Attack{}, 9, 4)
+	if got := g.Engine().NumShards(); got != 4 {
+		t.Fatalf("engine shards = %d, want 4", got)
+	}
+	var populated int
+	for _, sh := range g.shards {
+		if len(sh.users) > 0 {
+			populated++
+		}
+		if sh.eng.Executed() == 0 && len(sh.users) > 0 {
+			t.Errorf("shard with %d users ran no events", len(sh.users))
+		}
+	}
+	if populated < 3 {
+		t.Errorf("only %d of 4 shards populated", populated)
+	}
+}
+
+// TestThinningAcceptsFinalAttempt is the regression test for the silent
+// user drop: with a near-zero diurnal factor the thinning loop used to
+// reject 1000 draws and return without scheduling anything, removing the
+// user from the rest of the trace window. The final attempt must accept.
+func TestThinningAcceptsFinalAttempt(t *testing.T) {
+	p := DefaultProfile()
+	// Amplitude 1e9 puts the diurnal trough at ~1e-9; PaperStart is
+	// midnight with the peak at noon, so factors stay ≈0 near the start.
+	p.Sessions = dist.Diurnal{PeakHour: 12, Amplitude: 1e9}
+	cluster := server.NewCluster(server.Config{Seed: 5})
+	g := New(Config{Users: 1, Days: 30, Seed: 5, Workers: 1, Profile: p, Attacks: []Attack{}}, cluster)
+	u := &user{
+		id:  1,
+		rng: rand.New(rand.NewSource(9)),
+		sh:  g.shards[0],
+		par: params(Heavy),
+		// Mean gaps of ~17ms keep all 1000 thinning draws pinned to the
+		// midnight trough, where every one of them is rejected.
+		rateBoost: 5_000_000,
+	}
+	g.scheduleNextSession(u, g.cfg.Start)
+	if g.shards[0].eng.Pending() == 0 {
+		t.Fatal("thinning dropped the user: no session scheduled inside the window")
+	}
+	at, _ := g.shards[0].eng.NextEventAt()
+	if at.Before(g.cfg.Start) || at.After(g.end) {
+		t.Errorf("accepted session at %v, outside the window [%v, %v]", at, g.cfg.Start, g.end)
 	}
 }
 
