@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0] [-bench-out BENCH_4.json]
+//	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0]
+//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_5.json]
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"time"
 
 	"u1/internal/analysis"
+	"u1/internal/client"
+	"u1/internal/faults"
 	"u1/internal/hotpath"
 	"u1/internal/metrics"
 	"u1/internal/server"
@@ -28,11 +31,17 @@ func main() {
 	days := flag.Int("days", 30, "trace window in days (paper: 30)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
-	benchOut := flag.String("bench-out", "BENCH_4.json", "benchmark report path (empty to skip)")
+	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
+	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
+	benchOut := flag.String("bench-out", "BENCH_5.json", "benchmark report path (empty to skip)")
 	flag.Parse()
 
 	start := time.Now()
-	cluster := server.NewCluster(server.Config{Seed: *seed, AuthFailureRate: 0.0276})
+	cluster := server.NewCluster(server.Config{
+		Seed: *seed, AuthFailureRate: 0.0276,
+		FaultPlan:      faults.Uniform(*seed, *faultRate),
+		AdmitWatermark: *admitWatermark,
+	})
 	col := trace.NewCollector(trace.Config{
 		Start: workload.PaperStart, Days: *days,
 		Shards: cluster.Store.NumShards(), Seed: *seed,
@@ -41,8 +50,14 @@ func main() {
 	cluster.AddRPCObserver(col.RPCObserver())
 	// Stamp generation time around Run only, matching bench_test.go so the
 	// two producers of the u1-bench/1 schema report commensurable ops/sec.
+	wcfg := workload.Config{Users: *users, Days: *days, Seed: *seed, Workers: *workers}
+	if *faultRate > 0 || *admitWatermark > 0 {
+		// Failures are only interesting if clients react to them: give the
+		// population the bounded virtual-time retry policy.
+		wcfg.Retry = client.Retry{Max: 2, Backoff: 2 * time.Second}
+	}
 	genStart := time.Now()
-	workload.New(workload.Config{Users: *users, Days: *days, Seed: *seed, Workers: *workers}, cluster).Run()
+	workload.New(wcfg, cluster).Run()
 	genWall := time.Since(genStart)
 	t := analysis.FromCollector(col, workload.PaperStart, *days)
 	clean := t.Sanitize()
@@ -159,6 +174,12 @@ func main() {
 	row("F16", "p80 ops per active session", "92", fmt.Sprintf("%.0f", se.P80Ops))
 	row("F16", "ops carried by top 20% active sessions", "96.7%", fmt.Sprintf("%.1f%%", 100*se.Top20OpsShare))
 
+	er := analysis.AnalyzeErrors(t)
+	for _, c := range er.Classes {
+		row("§5.4", fmt.Sprintf("%s-class error rate", c.Class), "clusters by op class",
+			fmt.Sprintf("%.2f%% (%d/%d)", 100*c.Rate(), c.Errors, c.Ops))
+	}
+
 	wi := analysis.AnalyzeWhatIf(clean)
 	row("§9", "delta updates would avoid", "~15% of upload bytes",
 		fmt.Sprintf("%.1f%% (%.1f GB)", 100*float64(wi.DeltaUpdateSavings)/float64(wi.UploadBytes), float64(wi.DeltaUpdateSavings)/1e9))
@@ -180,6 +201,10 @@ func main() {
 			name, st.Count, st.Errors, st.P50Ms, st.P95Ms, st.P99Ms)
 	}
 	fmt.Printf("shard balance: reads %v writes %v (CV %.3f)\n", rep.Shards.Reads, rep.Shards.Writes, rep.Shards.CV)
+	if rep.Faults != nil {
+		fmt.Printf("faults: injected %d, shed %d, retried %d (succeeded %d)\n",
+			rep.Faults.Injected, rep.Faults.Shed, rep.Faults.Retried, rep.Faults.RetrySucceeded)
+	}
 
 	// Contended hot-path calibration: serial vs parallel ops/sec on the
 	// per-request structures. Speedup > 1 at multiple cores is the

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	u1sim -users 2000 -days 30 -out ./trace [-seed 1] [-no-attacks] [-rpc]
+//	      [-fault-rate 0] [-admit-watermark 0]
 package main
 
 import (
@@ -15,6 +16,9 @@ import (
 	"os"
 	"time"
 
+	"u1/internal/client"
+	"u1/internal/faults"
+	"u1/internal/metrics"
 	"u1/internal/server"
 	"u1/internal/trace"
 	"u1/internal/workload"
@@ -31,10 +35,16 @@ func main() {
 	noAttacks := flag.Bool("no-attacks", false, "disable the three DDoS events")
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	keepRPC := flag.Bool("rpc", false, "also write rpc span records (large)")
+	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
+	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
 	flag.Parse()
 
 	start := time.Now()
-	cluster := server.NewCluster(server.Config{Seed: *seed, AuthFailureRate: 0.0276})
+	cluster := server.NewCluster(server.Config{
+		Seed: *seed, AuthFailureRate: 0.0276,
+		FaultPlan:      faults.Uniform(*seed, *faultRate),
+		AdmitWatermark: *admitWatermark,
+	})
 	col := trace.NewCollector(trace.Config{
 		Start:          workload.PaperStart,
 		Days:           *days,
@@ -49,6 +59,9 @@ func main() {
 	if *noAttacks {
 		cfg.Attacks = []workload.Attack{}
 	}
+	if *faultRate > 0 || *admitWatermark > 0 {
+		cfg.Retry = client.Retry{Max: 2, Backoff: 2 * time.Second}
+	}
 	g := workload.New(cfg, cluster)
 	totals := g.Run()
 
@@ -56,6 +69,12 @@ func main() {
 		time.Since(start).Round(time.Millisecond), g.Engine().Executed(), g.Engine().NumShards())
 	fmt.Printf("totals: %d sessions, %d uploads, %d downloads, %d deletes, %d attack sessions\n",
 		totals.Sessions, totals.Uploads, totals.Downloads, totals.Deletes, totals.AttackSessions)
+	if *faultRate > 0 || *admitWatermark > 0 {
+		c := cluster.Metrics.Snapshot().Counters
+		fmt.Printf("faults: injected %d, shed %d, retried %d (succeeded %d)\n",
+			c[metrics.FaultsPrefix+"injected"], c[metrics.FaultsPrefix+"shed"],
+			c[metrics.FaultsPrefix+"retried"], c[metrics.FaultsPrefix+"retry_succeeded"])
+	}
 
 	if err := col.WriteCSV(*out); err != nil {
 		log.Fatalf("writing trace: %v", err)

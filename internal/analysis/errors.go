@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"u1/internal/faults"
+	"u1/internal/protocol"
+	"u1/internal/trace"
+)
+
+// ErrorRates is the error-rate-by-operation-class report. The provider-side
+// failure literature (PAPERS.md: Characterizing User and Provider Reported
+// Cloud Failures) finds that provider-visible failures cluster by operation
+// class, which is exactly the granularity the dispatch pipeline's fault
+// injection and admission control act on; this analysis closes the loop by
+// measuring the per-class rates out of the collected trace.
+type ErrorRates struct {
+	// Classes holds one row per shedding class (data, metadata, session),
+	// in that order; classes with no traffic are included with zero counts.
+	Classes []ErrorClass
+	// Total aggregates every class.
+	Total ErrorClass
+}
+
+// ErrorClass is one class's error accounting.
+type ErrorClass struct {
+	Class  string
+	Ops    uint64
+	Errors uint64
+	// ByStatus counts the non-OK outcomes by wire status.
+	ByStatus map[protocol.Status]uint64
+}
+
+// Rate returns the class error rate (0 with no traffic).
+func (c ErrorClass) Rate() float64 {
+	if c.Ops == 0 {
+		return 0
+	}
+	return float64(c.Errors) / float64(c.Ops)
+}
+
+// AnalyzeErrors folds the trace's storage and session records into per-class
+// error rates.
+func AnalyzeErrors(t *Trace) ErrorRates {
+	byClass := map[faults.Class]*ErrorClass{}
+	for _, cl := range []faults.Class{faults.ClassData, faults.ClassMetadata, faults.ClassSession} {
+		byClass[cl] = &ErrorClass{Class: cl.String(), ByStatus: make(map[protocol.Status]uint64)}
+	}
+	total := ErrorClass{Class: "total", ByStatus: make(map[protocol.Status]uint64)}
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Kind != trace.KindStorage && r.Kind != trace.KindSession {
+			continue
+		}
+		c := byClass[faults.ClassOf(protocol.Op(r.Op))]
+		c.Ops++
+		total.Ops++
+		if st := protocol.Status(r.Status); st != protocol.StatusOK {
+			c.Errors++
+			c.ByStatus[st]++
+			total.Errors++
+			total.ByStatus[st]++
+		}
+	}
+	res := ErrorRates{Total: total}
+	for _, cl := range []faults.Class{faults.ClassData, faults.ClassMetadata, faults.ClassSession} {
+		res.Classes = append(res.Classes, *byClass[cl])
+	}
+	return res
+}
+
+// Render produces the per-class error-rate block.
+func (e ErrorRates) Render() string {
+	var b strings.Builder
+	b.WriteString("error rate by operation class:\n")
+	fmt.Fprintf(&b, "  %-9s %10s %8s %8s  %s\n", "class", "ops", "errors", "rate", "by status")
+	rows := append(append([]ErrorClass(nil), e.Classes...), e.Total)
+	for _, c := range rows {
+		statuses := make([]protocol.Status, 0, len(c.ByStatus))
+		for st := range c.ByStatus {
+			statuses = append(statuses, st)
+		}
+		sort.Slice(statuses, func(i, j int) bool { return statuses[i] < statuses[j] })
+		parts := make([]string, 0, len(statuses))
+		for _, st := range statuses {
+			parts = append(parts, fmt.Sprintf("%v:%d", st, c.ByStatus[st]))
+		}
+		fmt.Fprintf(&b, "  %-9s %10d %8d %7.2f%%  %s\n",
+			c.Class, c.Ops, c.Errors, 100*c.Rate(), strings.Join(parts, " "))
+	}
+	return b.String()
+}

@@ -13,16 +13,18 @@
 // through an ordered interceptor chain into a per-op handler table built at
 // server construction:
 //
-//	proc-load → metrics → events → status-map → notify → session-guard → handler
+//	proc-load → metrics → events → status-map → inject → notify →
+//	session-guard → admit → cancel → handler
 //
 // Handlers (one registered Handler per protocol.Op) contain only the
 // operation's business logic: they issue DAL RPCs that charge their sampled
 // service times to the context's cost accumulator, enrich the trace Event,
 // and queue watcher notifications. Everything cross-cutting — per-process
 // load counting, per-op latency/error metrics, trace-event emission, the
-// uniform error→Status mapping, and notification delivery on success — lives
-// in one interceptor each and wraps every operation identically, so a new
-// operation (or a per-op fault injector or admission controller) is one
+// uniform error→Status mapping, deterministic per-op fault injection
+// (Config.Faults), notification delivery on success, and per-op-class load
+// shedding under overload (Config.AdmitWatermark) — lives in one interceptor
+// each and wraps every operation identically, so a new operation is one
 // registration, not a new switch arm. See dispatch.go for the interceptor
 // contract and the OpContext lifecycle.
 //
@@ -43,6 +45,7 @@ import (
 	"u1/internal/auth"
 	"u1/internal/blob"
 	"u1/internal/cow"
+	"u1/internal/faults"
 	"u1/internal/metadata"
 	"u1/internal/metrics"
 	"u1/internal/notify"
@@ -112,6 +115,14 @@ type Config struct {
 	InlineData bool
 	// QueueDepth bounds the notification queue on the broker.
 	QueueDepth int
+	// Faults is the deterministic per-op fault plan the inject interceptor
+	// applies (nil or zero-value injects nothing; see faults.Plan).
+	Faults *faults.Plan
+	// AdmitWatermark enables per-op-class load shedding: when a process has
+	// admitted this many requests over the trailing faults.AdmissionWindow,
+	// further data operations are refused with StatusOverloaded (metadata at
+	// 2x, session management at 4x). Zero disables shedding.
+	AdmitWatermark int
 }
 
 // Session is one storage-protocol session: one desktop client connection
@@ -158,6 +169,10 @@ type Server struct {
 
 	procOps []uint64 // per-process API op counters (atomic)
 
+	// admission is the per-process load-shedding state behind the admit
+	// interceptor; nil when Config.AdmitWatermark is zero.
+	admission *faults.Admission
+
 	// Per-op instrumentation handles, indexed by protocol.Op. Resolved once
 	// at construction so the request path records through plain pointers.
 	opSeconds      []*metrics.Histogram
@@ -165,6 +180,14 @@ type Server struct {
 	opErrors       []*metrics.Counter
 	activeSessions *metrics.Gauge
 	machineOps     *metrics.Counter
+
+	// Fault accounting for the bench report's faults section: injected and
+	// shed requests (server decisions), retried requests and retry successes
+	// (client attempts observed server-side via Request.Attempt).
+	faultInjected     *metrics.Counter
+	faultShed         *metrics.Counter
+	faultRetried      *metrics.Counter
+	faultRetrySuccess *metrics.Counter
 
 	uploadsMu sync.Mutex
 	uploads   map[protocol.UploadID]*pendingUpload
@@ -204,6 +227,14 @@ func New(cfg Config, deps Deps) *Server {
 
 		activeSessions: deps.Metrics.Gauge("api.sessions.active"),
 		machineOps:     deps.Metrics.Counter("api.server." + cfg.Name + ".ops"),
+
+		faultInjected:     deps.Metrics.Counter(metrics.FaultsPrefix + "injected"),
+		faultShed:         deps.Metrics.Counter(metrics.FaultsPrefix + "shed"),
+		faultRetried:      deps.Metrics.Counter(metrics.FaultsPrefix + "retried"),
+		faultRetrySuccess: deps.Metrics.Counter(metrics.FaultsPrefix + "retry_succeeded"),
+	}
+	if cfg.AdmitWatermark > 0 {
+		s.admission = faults.NewAdmission(cfg.Procs, cfg.AdmitWatermark)
 	}
 	ops := protocol.Ops()
 	s.opSeconds = make([]*metrics.Histogram, len(ops))
@@ -222,15 +253,20 @@ func New(cfg Config, deps Deps) *Server {
 	return s
 }
 
-// record charges one completed operation to the fleet metrics: its simulated
-// service time into the per-op histogram, plus outcome counters.
-func (s *Server) record(op protocol.Op, dur time.Duration, status protocol.Status) {
+// record charges one completed operation to the fleet metrics: outcome
+// counters always, and its simulated service time into the per-op histogram
+// unless the request was preempted. Preempted requests (cancelled, shed,
+// injected) did no back-end work, so admitting their zero durations would
+// deflate the latency percentiles — load shedding must not fake a p99 win.
+func (s *Server) record(op protocol.Op, dur time.Duration, status protocol.Status, preempted bool) {
 	if int(op) >= len(s.opSeconds) {
 		return
 	}
 	s.opCount[op].Inc()
 	s.machineOps.Inc()
-	s.opSeconds[op].Observe(dur.Seconds())
+	if !preempted {
+		s.opSeconds[op].Observe(dur.Seconds())
+	}
 	if status != protocol.StatusOK {
 		s.opErrors[op].Inc()
 	}

@@ -65,6 +65,13 @@ type OpContext struct {
 	// streaming never reports as an API event, and an upload that opens a
 	// job reports only when its final part lands.
 	suppressEvent bool
+	// preempted marks a request rejected before its handler ran — cancelled,
+	// shed by admission control, or failed by the fault injector. Preempted
+	// requests still count in the per-op outcome counters and trace events
+	// (operators must see refused work), but are excluded from the latency
+	// histograms: they charged no cost, and zero-duration samples would let
+	// load shedding fake a latency win.
+	preempted bool
 	// skipMetrics opts the request out of per-op metric recording (only the
 	// double-close of a session, which must not skew the op counters).
 	skipMetrics bool
@@ -175,8 +182,10 @@ func (s *Server) buildPipeline() {
 		{"metrics", s.metricsInterceptor},     // per-op latency histogram + outcome counters
 		{"events", s.eventInterceptor},        // uniform trace-event emission to observers
 		{"status-map", s.statusInterceptor},   // uniform error→Status mapping + correlation ID
+		{"inject", s.injectInterceptor},       // deterministic per-op fault injection
 		{"notify", s.notifyInterceptor},       // queued volume/share push delivery on success
 		{"session-guard", s.guardInterceptor}, // admission: no session, no service
+		{"admit", s.admitInterceptor},         // per-op-class load shedding under overload
 		{"cancel", s.cancelInterceptor},       // drop deadline-expired / client-abandoned work
 	}
 	wraps := make([]Interceptor, len(ics))
@@ -231,6 +240,54 @@ func (s *Server) guardInterceptor(next Handler) Handler {
 	}
 }
 
+// injectInterceptor is the deterministic per-op fault injector. It sits
+// between status-map and notify: inside status-map, so an injected sentinel
+// maps to its uniform wire status like any handler error; outside notify and
+// the handler, so a failed request does no back-end work and pushes no
+// notifications. The decision is a pure function of (plan Seed, user, op,
+// virtual now) — no shared RNG — which is what keeps the failure stream
+// reproducible for any fixed (Seed, Workers, Plan). The interceptor also
+// folds the retry accounting: requests carrying a non-zero Attempt are
+// retried traffic, and a retried request that comes back clean is a retry
+// success.
+func (s *Server) injectInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		if c.Req.Attempt > 0 {
+			s.faultRetried.Inc()
+		}
+		if st, ok := s.cfg.Faults.Decide(c.User, c.Req.Op, c.Now); ok {
+			c.preempted = true
+			s.faultInjected.Inc()
+			return nil, fmt.Errorf("%w: injected fault", st.Err())
+		}
+		resp, err := next(c)
+		if err == nil && c.Req.Attempt > 0 {
+			s.faultRetrySuccess.Inc()
+		}
+		return resp, err
+	}
+}
+
+// admitInterceptor sheds load per op class when the request's API process
+// crossed its admission watermark — the §5.4 response to the DDoS storms,
+// automated. It runs after the session guard (unauthenticated requests are
+// rejected, not shed) and before cancel and the handler, so refused work
+// charges no RPC cost. Authenticate dispatched through OpenSession has no
+// process yet and is never shed; admission defends the data path, while auth
+// storms are the SSO tier's problem (revocation, §7.3 injection).
+func (s *Server) admitInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		if s.admission != nil && c.hasProc {
+			if !s.admission.Admit(c.Event.Proc, c.Req.Op, c.Now) {
+				c.preempted = true
+				s.faultShed.Inc()
+				return nil, fmt.Errorf("%w: load shed", protocol.ErrOverloaded)
+			}
+		}
+		return next(c)
+	}
+}
+
 // cancelInterceptor is the last gate before the handler: a request whose
 // deadline has passed or whose client has abandoned the connection is
 // dropped with ErrCancelled instead of doing back-end work nobody will read.
@@ -241,9 +298,11 @@ func (s *Server) guardInterceptor(next Handler) Handler {
 func (s *Server) cancelInterceptor(next Handler) Handler {
 	return func(c *OpContext) (*protocol.Response, error) {
 		if !c.Deadline.IsZero() && c.Now.After(c.Deadline) {
+			c.preempted = true
 			return nil, fmt.Errorf("%w: deadline exceeded", protocol.ErrCancelled)
 		}
 		if c.Aborted != nil && c.Aborted() {
+			c.preempted = true
 			return nil, fmt.Errorf("%w: client disconnected", protocol.ErrCancelled)
 		}
 		return next(c)
@@ -306,11 +365,13 @@ func (s *Server) eventInterceptor(next Handler) Handler {
 
 // metricsInterceptor charges the completed operation to the fleet metrics:
 // accumulated cost into the per-op histogram plus outcome counters.
+// Preempted requests (cancelled, shed, injected) keep their outcome counters
+// but stay out of the latency histogram — see OpContext.preempted.
 func (s *Server) metricsInterceptor(next Handler) Handler {
 	return func(c *OpContext) (*protocol.Response, error) {
 		resp, err := next(c)
 		if !c.skipMetrics {
-			s.record(c.Req.Op, c.Cost.Total(), resp.Status)
+			s.record(c.Req.Op, c.Cost.Total(), resp.Status, c.preempted)
 		}
 		return resp, err
 	}

@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"sync"
+	"time"
 
 	"u1/internal/blob"
 	"u1/internal/protocol"
@@ -32,6 +33,12 @@ type Stats struct {
 	SyncsRun   uint64
 	Rescans    uint64
 	PushesSeen uint64
+	// Retries counts per-op retry attempts of transient failures;
+	// RetrySuccesses the retried ops that eventually completed. OpErrors
+	// counts operations that failed for good (after any retries).
+	Retries        uint64
+	RetrySuccesses uint64
+	OpErrors       uint64
 }
 
 // Client is the desktop sync client.
@@ -42,6 +49,11 @@ type Client struct {
 	// default desktop behavior ("the client acts on the incoming push and
 	// starts the download", §3.3).
 	AutoFetch bool
+
+	// Retry bounds per-op retry of transient failures (unavailable,
+	// overloaded, cancelled). Zero disables retries. Set before issuing
+	// traffic; it is read without synchronization on the request path.
+	Retry Retry
 
 	mu      sync.Mutex
 	user    protocol.UserID
@@ -58,6 +70,17 @@ func New(t Transport) *Client {
 
 // Connect authenticates and runs the standard initialization flow observed in
 // Fig. 8: Authenticate → ListVolumes → ListShares.
+//
+// A failed Authenticate means no session exists and Connect returns the
+// error. The follow-up listing calls are ordinary per-op requests on the
+// live session: a per-op failure (retryable past its budget, or permanent)
+// leaves the session up, is counted in Stats.OpErrors, and the daemon
+// recovers the missing state on its next sync or reconnect — treating such
+// a failure as connection-fatal was exactly the client/server
+// status-semantics mismatch the fault injector flushed out. What does stay
+// fatal is a dead transport (no response at all) or a session-fatal status
+// on the listing leg (the session was revoked underneath us): then there is
+// no live session to keep and Connect reports the failure.
 func (c *Client) Connect(token string) error {
 	resp, err := c.t.Do(&protocol.Request{Op: protocol.OpAuthenticate, Token: token})
 	if err != nil {
@@ -70,20 +93,31 @@ func (c *Client) Connect(token string) error {
 	c.user, c.session = resp.User, resp.Session
 	c.mu.Unlock()
 
-	vols, err := c.ListVolumes()
-	if err != nil {
+	resp, err = c.do(&protocol.Request{Op: protocol.OpListVolumes})
+	switch {
+	case err == nil:
+		c.mu.Lock()
+		for _, v := range resp.Volumes {
+			if _, ok := c.mirrors[v.ID]; !ok {
+				c.mirrors[v.ID] = &Mirror{Info: v, Nodes: make(map[protocol.NodeID]protocol.NodeInfo)}
+			}
+		}
+		c.mu.Unlock()
+	case resp == nil || classifyStatus(resp.Status) == classSessionFatal:
+		// No response at all (transport died) or the session is already
+		// gone: there is nothing to keep, the connection really failed.
 		return err
 	}
-	c.mu.Lock()
-	for _, v := range vols {
-		if _, ok := c.mirrors[v.ID]; !ok {
-			c.mirrors[v.ID] = &Mirror{Info: v, Nodes: make(map[protocol.NodeID]protocol.NodeInfo)}
-		}
+	resp, err = c.do(&protocol.Request{Op: protocol.OpListShares})
+	switch {
+	case err == nil:
+		c.mu.Lock()
+		c.shares = resp.Shares
+		c.mu.Unlock()
+	case resp == nil || classifyStatus(resp.Status) == classSessionFatal:
+		return err
 	}
-	c.mu.Unlock()
-
-	_, err = c.ListShares()
-	return err
+	return nil
 }
 
 // User returns the authenticated user id.
@@ -125,16 +159,44 @@ func (c *Client) Disconnect() error {
 	return err
 }
 
-// do sends a request and converts non-OK statuses into errors.
+// do sends a request, retrying transient failures within the Retry budget,
+// and converts non-OK statuses into errors. Retries carry their attempt
+// number and accumulated backoff on the request, so the server can tell
+// retried traffic apart and the simulator transport can advance the virtual
+// clock instead of sleeping. Only classRetryable statuses retry: a permanent
+// failure (missing node, quota) cannot be fixed by resending, and a
+// session-level failure needs a reconnect, not a per-op retry.
 func (c *Client) do(req *protocol.Request) (*protocol.Response, error) {
-	resp, err := c.t.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.Status != protocol.StatusOK {
+	var delay time.Duration
+	for attempt := 0; ; attempt++ {
+		req.Attempt = uint8(attempt)
+		req.Delay = delay
+		resp, err := c.t.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		switch classifyStatus(resp.Status) {
+		case classSuccess:
+			if attempt > 0 {
+				c.mu.Lock()
+				c.stats.RetrySuccesses++
+				c.mu.Unlock()
+			}
+			return resp, nil
+		case classRetryable:
+			if attempt < c.Retry.Max && attempt < 255 {
+				delay += c.Retry.step(attempt)
+				c.mu.Lock()
+				c.stats.Retries++
+				c.mu.Unlock()
+				continue
+			}
+		}
+		c.mu.Lock()
+		c.stats.OpErrors++
+		c.mu.Unlock()
 		return resp, fmt.Errorf("client: %v: %w", req.Op, resp.Status.Err())
 	}
-	return resp, nil
 }
 
 // ListVolumes lists the user's volumes.

@@ -262,6 +262,221 @@ func TestServiceTimeAccumulates(t *testing.T) {
 	}
 }
 
+// TestStatusClassificationCoversAllStatuses is the table-driven audit of
+// satellite concern #1: for every status the server can put on the wire, the
+// client's reaction must match the server's semantics — per-op failures must
+// not be treated as connection-fatal and vice versa. protocol.Statuses()
+// covers the whole vocabulary, so adding a status without classifying it
+// here fails the length check.
+func TestStatusClassificationCoversAllStatuses(t *testing.T) {
+	want := map[protocol.Status]statusClass{
+		protocol.StatusOK: classSuccess,
+		// Transient server-side conditions: same session, retry later.
+		protocol.StatusUnavailable: classRetryable,
+		protocol.StatusOverloaded:  classRetryable,
+		protocol.StatusCancelled:   classRetryable,
+		// The session is gone (or never existed): only a reconnect helps.
+		protocol.StatusAuthFailed: classSessionFatal,
+		// Per-op failures: resending the same request cannot succeed, but
+		// the session lives on.
+		protocol.StatusNotFound:   classPermanent,
+		protocol.StatusExists:     classPermanent,
+		protocol.StatusPermission: classPermanent,
+		protocol.StatusBadRequest: classPermanent,
+		protocol.StatusConflict:   classPermanent,
+		protocol.StatusQuota:      classPermanent,
+	}
+	all := protocol.Statuses()
+	if len(want) != len(all) {
+		t.Fatalf("classification table covers %d of %d statuses", len(want), len(all))
+	}
+	for _, s := range all {
+		if got := classifyStatus(s); got != want[s] {
+			t.Errorf("classifyStatus(%v) = %d, want %d", s, got, want[s])
+		}
+	}
+	// Future statuses default to permanent: fail the op, keep the session.
+	if got := classifyStatus(protocol.Status(200)); got != classPermanent {
+		t.Errorf("unknown status classified %d, want permanent", got)
+	}
+}
+
+// scriptedTransport serves canned statuses and records what the client sent.
+type scriptedTransport struct {
+	serve func(i int, req *protocol.Request) protocol.Status
+	reqs  []protocol.Request // shallow copies (Op/Attempt/Delay)
+}
+
+func (s *scriptedTransport) Do(req *protocol.Request) (*protocol.Response, error) {
+	s.reqs = append(s.reqs, *req)
+	return &protocol.Response{ID: req.ID, Status: s.serve(len(s.reqs)-1, req)}, nil
+}
+func (s *scriptedTransport) Pushes() <-chan *protocol.Push { return nil }
+func (s *scriptedTransport) Close() error                  { return nil }
+
+// TestRetryTransientThenSucceed pins the retry loop: transient failures are
+// resent with an increasing attempt counter and accumulating virtual
+// backoff, and the eventual success counts as a retry success.
+func TestRetryTransientThenSucceed(t *testing.T) {
+	tr := &scriptedTransport{serve: func(i int, _ *protocol.Request) protocol.Status {
+		if i < 2 {
+			return protocol.StatusOverloaded
+		}
+		return protocol.StatusOK
+	}}
+	cli := New(tr)
+	cli.Retry = Retry{Max: 3, Backoff: 2 * time.Second}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping should succeed on third attempt: %v", err)
+	}
+	if len(tr.reqs) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(tr.reqs))
+	}
+	for i, req := range tr.reqs {
+		if int(req.Attempt) != i {
+			t.Errorf("attempt %d stamped %d", i, req.Attempt)
+		}
+	}
+	if tr.reqs[0].Delay != 0 || tr.reqs[1].Delay != 2*time.Second || tr.reqs[2].Delay != 6*time.Second {
+		t.Errorf("backoff delays = %v %v %v, want 0s 2s 6s",
+			tr.reqs[0].Delay, tr.reqs[1].Delay, tr.reqs[2].Delay)
+	}
+	st := cli.Stats()
+	if st.Retries != 2 || st.RetrySuccesses != 1 || st.OpErrors != 0 {
+		t.Errorf("stats = %+v, want 2 retries, 1 retry success, 0 errors", st)
+	}
+}
+
+// TestRetryBudgetExhausted pins the bound: Max retries then give up with the
+// last status.
+func TestRetryBudgetExhausted(t *testing.T) {
+	tr := &scriptedTransport{serve: func(int, *protocol.Request) protocol.Status {
+		return protocol.StatusUnavailable
+	}}
+	cli := New(tr)
+	cli.Retry = Retry{Max: 2, Backoff: time.Second}
+	err := cli.Ping()
+	if !errors.Is(err, protocol.ErrUnavailable) {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+	if len(tr.reqs) != 3 {
+		t.Errorf("attempts = %d, want 1 + 2 retries", len(tr.reqs))
+	}
+	st := cli.Stats()
+	if st.Retries != 2 || st.RetrySuccesses != 0 || st.OpErrors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestNoRetryForPermanentOrSessionFatal pins the classification split: a
+// permanent failure and a session-level failure are never resent, with or
+// without a retry budget.
+func TestNoRetryForPermanentOrSessionFatal(t *testing.T) {
+	for _, status := range []protocol.Status{protocol.StatusNotFound, protocol.StatusAuthFailed} {
+		tr := &scriptedTransport{serve: func(int, *protocol.Request) protocol.Status { return status }}
+		cli := New(tr)
+		cli.Retry = Retry{Max: 5}
+		err := cli.Ping()
+		if !errors.Is(err, status.Err()) {
+			t.Fatalf("status %v: err = %v", status, err)
+		}
+		if len(tr.reqs) != 1 {
+			t.Errorf("status %v: attempts = %d, want 1", status, len(tr.reqs))
+		}
+	}
+}
+
+// TestZeroRetryPolicyPreservesBehavior pins the default: without a budget
+// the first transient failure is final — the faithful §3.3 client.
+func TestZeroRetryPolicyPreservesBehavior(t *testing.T) {
+	tr := &scriptedTransport{serve: func(int, *protocol.Request) protocol.Status {
+		return protocol.StatusUnavailable
+	}}
+	cli := New(tr)
+	if err := cli.Ping(); !errors.Is(err, protocol.ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(tr.reqs) != 1 {
+		t.Errorf("attempts = %d, want 1", len(tr.reqs))
+	}
+}
+
+// TestConnectSurvivesInitFlowFailure pins the satellite-1 fix: a per-op
+// failure in the post-auth listing flow must not be treated as a failed
+// connection. The session stays up and Connect reports success.
+func TestConnectSurvivesInitFlowFailure(t *testing.T) {
+	tr := &scriptedTransport{serve: func(_ int, req *protocol.Request) protocol.Status {
+		if req.Op == protocol.OpAuthenticate {
+			return protocol.StatusOK
+		}
+		return protocol.StatusUnavailable // every listing call fails
+	}}
+	cli := New(tr)
+	if err := cli.Connect("tok"); err != nil {
+		t.Fatalf("Connect treated a per-op failure as connection-fatal: %v", err)
+	}
+	if cli.Stats().OpErrors != 2 {
+		t.Errorf("op errors = %d, want ListVolumes + ListShares", cli.Stats().OpErrors)
+	}
+}
+
+// TestConnectStillFatalOnSessionLossOrDeadTransport bounds the tolerance: a
+// session-fatal status on a listing leg (the session was revoked between
+// Authenticate and ListVolumes) or a transport that dies mid-flow must
+// still abort Connect — only per-op failures are survivable.
+func TestConnectStillFatalOnSessionLossOrDeadTransport(t *testing.T) {
+	tr := &scriptedTransport{serve: func(_ int, req *protocol.Request) protocol.Status {
+		if req.Op == protocol.OpAuthenticate {
+			return protocol.StatusOK
+		}
+		return protocol.StatusAuthFailed // session gone underneath us
+	}}
+	if err := New(tr).Connect("tok"); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("session loss on the listing leg: err = %v, want auth failed", err)
+	}
+
+	dead := &dyingTransport{}
+	if err := New(dead).Connect("tok"); !errors.Is(err, ErrClosed) {
+		t.Errorf("dead transport mid-flow: err = %v, want ErrClosed", err)
+	}
+}
+
+// dyingTransport authenticates, then fails at the transport level.
+type dyingTransport struct{ calls int }
+
+func (d *dyingTransport) Do(req *protocol.Request) (*protocol.Response, error) {
+	d.calls++
+	if req.Op == protocol.OpAuthenticate {
+		return &protocol.Response{ID: req.ID, Status: protocol.StatusOK}, nil
+	}
+	return nil, ErrClosed
+}
+func (d *dyingTransport) Pushes() <-chan *protocol.Push { return nil }
+func (d *dyingTransport) Close() error                  { return nil }
+
+// TestDirectTransportAppliesVirtualBackoff proves the simulator leg of
+// retry-with-backoff: a request carrying Delay is handled at clock+Delay, so
+// the server (and its deterministic fault plan) sees a later virtual instant.
+func TestDirectTransportAppliesVirtualBackoff(t *testing.T) {
+	srv, authSvc := newServer(t)
+	var events []apiserver.Event
+	srv.AddObserver(func(e apiserver.Event) { events = append(events, e) })
+	t0 := time.Date(2014, 1, 11, 0, 0, 0, 0, time.UTC)
+	tr := NewDirectTransport(FixedServer(srv), func() time.Time { return t0 })
+	cli := New(tr)
+	token, _ := authSvc.Issue(80)
+	if err := cli.Connect(token); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Do(&protocol.Request{Op: protocol.OpListVolumes, Delay: 7 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if !last.Start.Equal(t0.Add(7 * time.Second)) {
+		t.Errorf("delayed request handled at %v, want %v", last.Start, t0.Add(7*time.Second))
+	}
+}
+
 func TestTransportClosedBehavior(t *testing.T) {
 	srv, authSvc := newServer(t)
 	cli := connected(t, srv, authSvc, 70)

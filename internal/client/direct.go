@@ -95,6 +95,13 @@ func (t *DirectTransport) Do(req *protocol.Request) (*protocol.Response, error) 
 		if server == nil {
 			return &protocol.Response{ID: req.ID, Status: protocol.StatusAuthFailed}, nil
 		}
+		// Retry backoff in virtual time: the client cannot sleep inside a
+		// simulator event, so a retried request instead arrives Delay after
+		// the event's clock — late enough for the deterministic fault plan
+		// to draw a fresh decision.
+		if req.Delay > 0 {
+			now = now.Add(req.Delay)
+		}
 		resp, d := server.Handle(sess, req, now)
 		t.mu.Lock()
 		t.service += d

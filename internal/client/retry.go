@@ -1,0 +1,78 @@
+package client
+
+import (
+	"time"
+
+	"u1/internal/protocol"
+)
+
+// statusClass is the client's view of a response status: what the sync
+// engine should do about it. The classification must agree with the server's
+// semantics — a status the server considers per-op must not tear the session
+// down client-side, and a session-level status must not be blindly retried.
+type statusClass uint8
+
+const (
+	// classSuccess: the operation completed.
+	classSuccess statusClass = iota
+	// classRetryable: transient server-side condition (outage, load shed,
+	// dropped work); the same request can succeed after a backoff, on the
+	// same session.
+	classRetryable
+	// classPermanent: the request itself cannot succeed (missing node,
+	// permission, quota, conflict); retrying verbatim is pointless but the
+	// session is fine.
+	classPermanent
+	// classSessionFatal: the session is gone or was never established;
+	// per-op retry cannot help, only a reconnect (re-Authenticate) can.
+	classSessionFatal
+)
+
+// classifyStatus maps every protocol.Status to its client reaction. Unknown
+// future statuses classify as permanent: fail the op, keep the session.
+func classifyStatus(s protocol.Status) statusClass {
+	switch s {
+	case protocol.StatusOK:
+		return classSuccess
+	case protocol.StatusUnavailable, protocol.StatusOverloaded, protocol.StatusCancelled:
+		// Unavailable and Overloaded are the server telling the client to
+		// come back later; Cancelled means the server dropped the work
+		// believing the client gone — if the response arrived, it wasn't.
+		return classRetryable
+	case protocol.StatusAuthFailed:
+		// The only session-level status the server emits on the per-op path
+		// (the session guard); everything else leaves the session live.
+		return classSessionFatal
+	case protocol.StatusNotFound, protocol.StatusExists, protocol.StatusPermission,
+		protocol.StatusBadRequest, protocol.StatusConflict, protocol.StatusQuota:
+		return classPermanent
+	default:
+		return classPermanent
+	}
+}
+
+// Retry bounds the client's per-op retry of transient failures (statuses in
+// classRetryable). The zero value disables retries — the faithful §3.3
+// client behavior, and the default the trace reproduction depends on.
+type Retry struct {
+	// Max is the number of retries after the first attempt.
+	Max int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	// Zero defaults to one second. The wait is virtual: it travels on
+	// Request.Delay, and the simulator transport advances the request's
+	// virtual timestamp by it instead of sleeping, so a retried request
+	// draws a fresh fault decision at a later instant.
+	Backoff time.Duration
+}
+
+// step returns the additional backoff before retry number attempt+1.
+func (r Retry) step(attempt int) time.Duration {
+	b := r.Backoff
+	if b <= 0 {
+		b = time.Second
+	}
+	if attempt > 30 {
+		attempt = 30
+	}
+	return b << attempt
+}

@@ -491,3 +491,45 @@ func TestShardedBalancerConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestFallThroughLeaseShardMatchesHashShard pins the lease-shard/hash-shard
+// agreement behind ReleaseBackend. Acquire's two-choice sampler can land on
+// two empty shards and fall through to a linear probe over every shard; the
+// probe still takes the backend from the shard its name hashes to, so the
+// recorded lease shard and shardOf(name) must agree — otherwise
+// ReleaseBackend (which resolves the shard by hash, not by lease) would
+// decrement a different shard than Acquire charged and the backend's load
+// would double-count forever. Draining the fleet to one backend makes the
+// fall-through path the common case.
+func TestFallThroughLeaseShardMatchesHashShard(t *testing.T) {
+	names := shardedNames(12)
+	b := NewShardedBalancer(8, names...)
+	survivor := names[0]
+	for _, name := range names[1:] {
+		b.RemoveBackend(name)
+	}
+	// With 1 populated shard out of 8, most two-choice samples miss it
+	// (P ≈ (7/8)·(6/7) per draw), so 400 acquires exercise the fall-through
+	// probe hundreds of times.
+	for i := 0; i < 400; i++ {
+		lease, err := b.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease.Backend != survivor {
+			t.Fatalf("acquire %d placed on %q, want %q", i, lease.Backend, survivor)
+		}
+		if want := b.shardOf(lease.Backend); lease.shard != want {
+			t.Fatalf("acquire %d: lease shard %d != hash shard %d — ReleaseBackend would double-count",
+				i, lease.shard, want)
+		}
+		// Release by name, the hash-resolving path under test.
+		b.ReleaseBackend(lease.Backend)
+	}
+	if n := b.Active()[survivor]; n != 0 {
+		t.Errorf("survivor load = %d after releasing every lease, want 0", n)
+	}
+	if got := b.Totals()[survivor]; got != 400 {
+		t.Errorf("survivor placements = %d, want 400", got)
+	}
+}

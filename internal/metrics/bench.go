@@ -23,6 +23,10 @@ const (
 	// ShardPrefix + <i> + {".reads"|".writes"} — per-shard op counters;
 	// + {".read_hold.seconds"|".write_hold.seconds"} — lock hold times.
 	ShardPrefix = "meta.shard."
+	// FaultsPrefix + {"injected"|"shed"|"retried"|"retry_succeeded"} — the
+	// apiserver's fault-injection / admission-control / client-retry
+	// counters, folded into the report's faults section.
+	FaultsPrefix = "faults."
 )
 
 // OpStats is one operation class in a benchmark report.
@@ -70,6 +74,17 @@ type GeneratorStats struct {
 	Speedup              float64 `json:"speedup"`
 }
 
+// FaultStats is the report's fault-machinery section: how many requests the
+// fault plan injected failures into, how many admission control shed, and
+// how much retried client traffic arrived (and recovered). Present only in
+// runs where any of the counters fired.
+type FaultStats struct {
+	Injected       uint64 `json:"injected"`
+	Shed           uint64 `json:"shed"`
+	Retried        uint64 `json:"retried"`
+	RetrySucceeded uint64 `json:"retry_succeeded"`
+}
+
 // BenchReport is the machine-readable benchmark result (BENCH_*.json): the
 // perf trajectory record CI archives on every run.
 type BenchReport struct {
@@ -96,6 +111,9 @@ type BenchReport struct {
 	// Generator records serial-vs-parallel trace-generation throughput on
 	// the sharded simulation substrate (internal/hotpath.MeasureGenerator).
 	Generator *GeneratorStats `json:"generator,omitempty"`
+	// Faults summarizes fault injection, load shedding and client retries;
+	// omitted for failure-free runs.
+	Faults *FaultStats `json:"faults,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }
@@ -152,6 +170,15 @@ func BuildBenchReport(snap Snapshot, wallSeconds float64, users, days int) Bench
 	}
 
 	rep.Shards = shardBalance(snap.Counters)
+	f := FaultStats{
+		Injected:       snap.Counters[FaultsPrefix+"injected"],
+		Shed:           snap.Counters[FaultsPrefix+"shed"],
+		Retried:        snap.Counters[FaultsPrefix+"retried"],
+		RetrySucceeded: snap.Counters[FaultsPrefix+"retry_succeeded"],
+	}
+	if f != (FaultStats{}) {
+		rep.Faults = &f
+	}
 	return rep
 }
 

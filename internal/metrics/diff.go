@@ -118,6 +118,24 @@ func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
 		throughput("generator.parallel_events_per_sec",
 			prev.Generator.ParallelEventsPerSec, next.Generator.ParallelEventsPerSec)
 	}
+
+	// Fault-machinery counts (schema generation 5 on) compare only when both
+	// reports carry them, and informationally: injected/shed volumes follow
+	// the run's fault configuration, so a delta is a visibility aid, never a
+	// perf regression.
+	if prev.Faults != nil && next.Faults != nil {
+		count := func(metric string, p, n uint64) {
+			delta := BenchDelta{Metric: metric, Prev: float64(p), Next: float64(n)}
+			if p > 0 {
+				delta.Ratio = float64(n) / float64(p)
+			}
+			d.Deltas = append(d.Deltas, delta)
+		}
+		count("faults.injected", prev.Faults.Injected, next.Faults.Injected)
+		count("faults.shed", prev.Faults.Shed, next.Faults.Shed)
+		count("faults.retried", prev.Faults.Retried, next.Faults.Retried)
+		count("faults.retry_succeeded", prev.Faults.RetrySucceeded, next.Faults.RetrySucceeded)
+	}
 	return d
 }
 

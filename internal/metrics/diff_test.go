@@ -91,6 +91,39 @@ func TestCompareGeneratorSection(t *testing.T) {
 	}
 }
 
+// TestCompareFaultsSection covers the faults counts: compared only when both
+// reports carry the section, and always informationally — a shed-count jump
+// reflects the run's fault configuration, not a perf regression.
+func TestCompareFaultsSection(t *testing.T) {
+	prev, next := diffFixture()
+	d := CompareBenchReports(prev, next, 0.25)
+	for _, x := range d.Deltas {
+		if strings.HasPrefix(x.Metric, "faults.") {
+			t.Fatal("faults section compared when a side lacks one")
+		}
+	}
+	prev.Faults = &FaultStats{Injected: 100, Shed: 10, Retried: 80, RetrySucceeded: 60}
+	next.Faults = &FaultStats{Injected: 500, Shed: 90, Retried: 400, RetrySucceeded: 310}
+	d = CompareBenchReports(prev, next, 0.25)
+	found := map[string]BenchDelta{}
+	for _, x := range d.Deltas {
+		if strings.HasPrefix(x.Metric, "faults.") {
+			found[x.Metric] = x
+		}
+	}
+	if len(found) != 4 {
+		t.Fatalf("faults deltas = %d, want 4 (%v)", len(found), found)
+	}
+	if x := found["faults.injected"]; x.Prev != 100 || x.Next != 500 || x.Ratio != 5 {
+		t.Errorf("faults.injected delta = %+v", x)
+	}
+	for name, x := range found {
+		if x.Regressed {
+			t.Errorf("%s flagged as a regression; fault counts are informational", name)
+		}
+	}
+}
+
 func TestCompareBenchReportsCleanPass(t *testing.T) {
 	prev, _ := diffFixture()
 	d := CompareBenchReports(prev, prev, 0.25)

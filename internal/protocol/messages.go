@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"time"
 
 	"u1/internal/wire"
 )
@@ -39,6 +40,15 @@ type Request struct {
 	ToUser         UserID     // CreateShare: grantee
 	ReadOnly       bool       // CreateShare: access level
 	Share          ShareID    // AcceptShare: grant being accepted
+
+	// Attempt counts client retries of this request (0 = first try). The
+	// server's fault counters use it to tell retried traffic apart.
+	Attempt uint8
+	// Delay is the client's accumulated retry backoff. Wall-clock transports
+	// realize it by actually waiting; the in-process simulator transport
+	// instead advances the request's virtual timestamp by it, so a retried
+	// request draws a fresh fault decision at a later virtual instant.
+	Delay time.Duration
 }
 
 // Marshal encodes the request body (without the frame header).
@@ -62,6 +72,8 @@ func (q *Request) Marshal() []byte {
 	w.Uvarint(uint64(q.ToUser))
 	w.Bool(q.ReadOnly)
 	w.Uvarint(uint64(q.Share))
+	w.Byte(q.Attempt)
+	w.Uvarint(uint64(q.Delay))
 	return w.Bytes()
 }
 
@@ -89,6 +101,8 @@ func UnmarshalRequest(buf []byte) (*Request, error) {
 	q.ToUser = UserID(r.Uvarint())
 	q.ReadOnly = r.Bool()
 	q.Share = ShareID(r.Uvarint())
+	q.Attempt = r.Byte()
+	q.Delay = time.Duration(r.Uvarint())
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("protocol: decoding request: %w", err)
 	}

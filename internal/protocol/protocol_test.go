@@ -2,10 +2,12 @@ package protocol
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestHashRoundTrip(t *testing.T) {
@@ -116,7 +118,8 @@ func TestRPCNamesAndClasses(t *testing.T) {
 
 func TestStatusRoundTrip(t *testing.T) {
 	errs := []error{nil, ErrAuthFailed, ErrNotFound, ErrExists, ErrPermission,
-		ErrBadRequest, ErrConflict, ErrQuota, ErrUnavailable}
+		ErrBadRequest, ErrConflict, ErrQuota, ErrUnavailable, ErrCancelled,
+		ErrOverloaded}
 	for _, e := range errs {
 		s := StatusOf(e)
 		back := s.Err()
@@ -136,6 +139,27 @@ func TestStatusRoundTrip(t *testing.T) {
 	}
 	if StatusOK.String() == "" || Status(99).String() == "" {
 		t.Error("status strings")
+	}
+}
+
+// TestStatusesCoversVocabulary pins the Statuses() enumeration: every
+// defined status renders a real name and round-trips through Err/StatusOf,
+// so classification tables built over Statuses() really cover everything.
+func TestStatusesCoversVocabulary(t *testing.T) {
+	all := Statuses()
+	if all[0] != StatusOK || all[len(all)-1] != StatusOverloaded {
+		t.Errorf("statuses = %v, want StatusOK..StatusOverloaded", all)
+	}
+	for _, s := range all {
+		if s.String() == fmt.Sprintf("status(%d)", uint8(s)) {
+			t.Errorf("status %d has no name", s)
+		}
+		if s == StatusOK {
+			continue
+		}
+		if back := StatusOf(s.Err()); back != s {
+			t.Errorf("status %v round trips to %v", s, back)
+		}
 	}
 }
 
@@ -159,6 +183,8 @@ func sampleRequest() *Request {
 		ToUser:         55,
 		ReadOnly:       true,
 		Share:          8,
+		Attempt:        2,
+		Delay:          1500 * time.Millisecond, // accumulated retry backoff
 	}
 }
 

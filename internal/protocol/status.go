@@ -20,7 +20,21 @@ const (
 	StatusConflict
 	StatusQuota
 	StatusCancelled
+	StatusOverloaded
+
+	numStatuses = int(StatusOverloaded) + 1
 )
+
+// Statuses returns every defined status code in declaration order, for
+// classification tables that must cover the whole vocabulary (a new status
+// shows up here and forces every such table to take a position on it).
+func Statuses() []Status {
+	out := make([]Status, numStatuses)
+	for i := range out {
+		out[i] = Status(i)
+	}
+	return out
+}
 
 // String implements fmt.Stringer.
 func (s Status) String() string {
@@ -45,6 +59,8 @@ func (s Status) String() string {
 		return "quota exceeded"
 	case StatusCancelled:
 		return "cancelled"
+	case StatusOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -64,6 +80,10 @@ var (
 	// ErrCancelled marks a request dropped before its handler ran: the
 	// client disconnected mid-pipeline or the request's deadline passed.
 	ErrCancelled = errors.New("protocol: request cancelled")
+	// ErrOverloaded marks a request shed by admission control before its
+	// handler ran (the §5.4 provider-side load-shedding response). Clients
+	// should back off and retry; the session itself stays valid.
+	ErrOverloaded = errors.New("protocol: server overloaded")
 )
 
 // StatusOf maps an error to its wire status. Unknown errors map to
@@ -88,6 +108,8 @@ func StatusOf(err error) Status {
 		return StatusQuota
 	case errors.Is(err, ErrCancelled):
 		return StatusCancelled
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverloaded
 	default:
 		return StatusUnavailable
 	}
@@ -116,6 +138,8 @@ func (s Status) Err() error {
 		return ErrQuota
 	case StatusCancelled:
 		return ErrCancelled
+	case StatusOverloaded:
+		return ErrOverloaded
 	default:
 		return ErrUnavailable
 	}

@@ -14,6 +14,7 @@ import (
 	"u1/internal/apiserver"
 	"u1/internal/auth"
 	"u1/internal/blob"
+	"u1/internal/faults"
 	"u1/internal/gateway"
 	"u1/internal/metadata"
 	"u1/internal/metrics"
@@ -49,6 +50,13 @@ type Config struct {
 	RPCProcs int
 	// AuthFailureRate injects SSO failures (paper: 0.0276).
 	AuthFailureRate float64
+	// FaultPlan injects deterministic per-op failures on every API server
+	// (nil disables; see faults.Plan for the (Seed, user, op, now) contract).
+	FaultPlan *faults.Plan
+	// AdmitWatermark enables per-op-class load shedding on every API server:
+	// the per-process admitted-requests-per-minute watermark past which data
+	// operations are refused with StatusOverloaded (0 disables).
+	AdmitWatermark int
 	// InlineData makes transfers carry real bytes (TCP mode); off for
 	// simulation.
 	InlineData bool
@@ -136,9 +144,11 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	for _, name := range cfg.Machines {
 		srv := apiserver.New(apiserver.Config{
-			Name:       name,
-			Procs:      cfg.ProcsPerMachine,
-			InlineData: cfg.InlineData,
+			Name:           name,
+			Procs:          cfg.ProcsPerMachine,
+			InlineData:     cfg.InlineData,
+			Faults:         cfg.FaultPlan,
+			AdmitWatermark: cfg.AdmitWatermark,
 		}, deps)
 		c.Servers = append(c.Servers, srv)
 		c.byName[name] = srv

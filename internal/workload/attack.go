@@ -148,6 +148,7 @@ func (g *Generator) attackSession(token string, vol protocol.VolumeID, node prot
 	rng := rand.New(rand.NewSource(seed))
 	tr := client.NewDirectTransport(g.c.LeastLoaded, sh.eng.Clock())
 	cli := client.New(tr)
+	cli.Retry = g.cfg.Retry
 	if err := cli.Connect(token); err != nil {
 		sh.totals.FailedAuths++
 		return

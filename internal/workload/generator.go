@@ -40,6 +40,10 @@ type Config struct {
 	// Attacks injects DDoS events; nil means DefaultAttacks. Use an empty
 	// non-nil slice for an attack-free trace.
 	Attacks []Attack
+	// Retry is the per-client retry policy for transient per-op failures
+	// (the behavior injected faults exercise). The zero value disables
+	// retries, preserving the failure-free trace bit-for-bit.
+	Retry client.Retry
 }
 
 // PaperStart is the first day of the original trace (January 11, 2014).
@@ -468,6 +472,7 @@ func (g *Generator) startSession(u *user) {
 	if u.cli == nil {
 		tr := client.NewDirectTransport(g.c.LeastLoaded, eng.Clock())
 		u.cli = client.New(tr)
+		u.cli.Retry = g.cfg.Retry
 	}
 	if err := u.cli.Connect(u.token); err != nil {
 		// Auth failures happen (§7.3: 2.76%); the desktop client retries on
