@@ -28,6 +28,7 @@ import (
 	"u1/internal/rpc"
 	"u1/internal/server"
 	"u1/internal/trace"
+	"u1/internal/wal"
 	"u1/internal/wire"
 	"u1/internal/workload"
 )
@@ -378,18 +379,19 @@ func benchGeneration(b *testing.B, workers int) {
 func BenchmarkTraceGeneration(b *testing.B) { benchGeneration(b, 0) }
 
 // BenchmarkTraceGenerationSerial pins Workers=1: the bit-for-bit serial
-// stream, the baseline the generator section of BENCH_5.json records.
+// stream, the baseline the generator section of BENCH_6.json records.
 func BenchmarkTraceGenerationSerial(b *testing.B) { benchGeneration(b, 1) }
 
 // BenchmarkObservability snapshots the live metrics registry of the shared
 // bench cluster, derives the machine-readable benchmark report (ops/sec,
-// per-op p50/p95/p99 latency, shard balance, contended hot-path throughput)
-// and writes it to BENCH_5.json (override with U1_BENCH_OUT, empty disables)
-// — the artifact the CI bench-smoke job archives as the repo's perf
-// trajectory and diffs against the committed previous report.
+// per-op p50/p95/p99 latency, shard balance, contended hot-path throughput,
+// durability pricing) and writes it to BENCH_6.json (override with
+// U1_BENCH_OUT, empty disables) — the artifact the CI bench-smoke job
+// archives as the repo's perf trajectory and diffs against the committed
+// previous report.
 func BenchmarkObservability(b *testing.B) {
 	benchTrace(b)
-	out := "BENCH_5.json"
+	out := "BENCH_6.json"
 	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
 		out = v
 	}
@@ -430,6 +432,18 @@ func BenchmarkObservability(b *testing.B) {
 	}
 	if rep.Generator == nil || rep.Generator.SerialEventsPerSec <= 0 || rep.Generator.ParallelEventsPerSec <= 0 {
 		b.Fatalf("generator section missing from report: %+v", rep.Generator)
+	}
+	ds, err := hotpath.MeasureDurability(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep.Durability = &ds
+	for _, policy := range wal.Policies() {
+		st, ok := ds.Policies[policy.String()]
+		if !ok || st.AppendsPerSec <= 0 {
+			b.Fatalf("durability policy %s missing from report: %+v", policy, st)
+		}
+		b.ReportMetric(st.AppendsPerSec, "wal_"+policy.String()+"_appends/s")
 	}
 	b.ReportMetric(rep.OpsPerSec, "ops/s")
 	b.ReportMetric(float64(rep.TotalOps), "total_ops")
@@ -514,6 +528,52 @@ func BenchmarkBlobMultipart(b *testing.B) {
 			}
 		}
 		if err := s.CompleteMultipartUpload(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWALAppend times journal appends of a journal-record-sized payload
+// under one fsync policy — the raw cost floor of the durable metadata tier.
+func benchWALAppend(b *testing.B, policy wal.Policy) {
+	b.Helper()
+	log, err := wal.Open(b.TempDir(), wal.Options{Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close() //nolint:errcheck
+	payload := bytes.Repeat([]byte{0x5A}, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendPerOp(b *testing.B) { benchWALAppend(b, wal.FsyncPerOp) }
+func BenchmarkWALAppendGroup(b *testing.B) { benchWALAppend(b, wal.FsyncGroupCommit) }
+func BenchmarkWALAppendAsync(b *testing.B) { benchWALAppend(b, wal.FsyncAsync) }
+
+// BenchmarkDurableMakeFile is BenchmarkMetadataMakeFile with the WAL on: the
+// journaled-write overhead the durability knobs buy into.
+func BenchmarkDurableMakeFile(b *testing.B) {
+	store, err := metadata.Open(metadata.Config{
+		Shards: 10, Durability: b.TempDir(), FsyncPolicy: wal.FsyncAsync,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close() //nolint:errcheck
+	root, err := store.CreateUser(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.MakeFile(1, root.ID, 0, fmt.Sprintf("f%d", i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0]
-//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_5.json]
+//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_6.json]
+//	        [-durability DIR] [-fsync per-op|group|async] [-snapshot-every 0]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"u1/internal/metrics"
 	"u1/internal/server"
 	"u1/internal/trace"
+	"u1/internal/wal"
 	"u1/internal/workload"
 )
 
@@ -33,15 +35,30 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
 	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
-	benchOut := flag.String("bench-out", "BENCH_5.json", "benchmark report path (empty to skip)")
+	benchOut := flag.String("bench-out", "BENCH_6.json", "benchmark report path (empty to skip)")
+	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
+	fsync := flag.String("fsync", "per-op", "journal fsync policy: per-op, group, or async")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between per-shard snapshots (0 = metadata default)")
 	flag.Parse()
 
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	cluster := server.NewCluster(server.Config{
+	cluster, err := server.OpenCluster(server.Config{
 		Seed: *seed, AuthFailureRate: 0.0276,
 		FaultPlan:      faults.Uniform(*seed, *faultRate),
 		AdmitWatermark: *admitWatermark,
+		Durability:     *durability,
+		FsyncPolicy:    policy,
+		SnapshotEvery:  *snapshotEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	col := trace.NewCollector(trace.Config{
 		Start: workload.PaperStart, Days: *days,
 		Shards: cluster.Store.NumShards(), Seed: *seed,
@@ -226,6 +243,38 @@ func main() {
 		gen.Workers, gen.Users, gen.Days)
 	fmt.Printf("serial %0.f events/s, parallel %0.f events/s, speedup %.2fx\n",
 		gen.SerialEventsPerSec, gen.ParallelEventsPerSec, gen.Speedup)
+
+	// Durability pricing: journal append throughput and modeled sync cost
+	// under each fsync policy, against a throwaway WAL — recorded whether or
+	// not this run itself journaled, so every report prices the same menu.
+	durDir, err := os.MkdirTemp("", "u1bench-wal-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ds, err := hotpath.MeasureDurability(durDir, 0)
+	os.RemoveAll(durDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Durability = &ds
+	fmt.Printf("\n== durability (WAL fsync policies) ==\n")
+	fmt.Printf("%-10s %14s %16s %12s\n", "policy", "appends/s", "syncs/append", "sync_cost_ms")
+	for _, p := range wal.Policies() {
+		st := ds.Policies[p.String()]
+		fmt.Printf("%-10s %14.0f %16.3f %12.3f\n", p, st.AppendsPerSec, st.SyncsPerAppend, st.SyncCostMs)
+	}
+	if *durability != "" {
+		if err := cluster.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c := cluster.Metrics.Snapshot().Counters
+		fmt.Printf("journaled run (%s): %d journaled ops, %d WAL appends, %d snapshots\n",
+			policy, c[metrics.WALPrefix+"journaled"], c[metrics.WALPrefix+"appends"],
+			c[metrics.WALPrefix+"snapshots"])
+	}
 
 	if *benchOut != "" {
 		if err := metrics.WriteBenchReport(*benchOut, rep); err != nil {

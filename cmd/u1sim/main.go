@@ -7,6 +7,7 @@
 //
 //	u1sim -users 2000 -days 30 -out ./trace [-seed 1] [-no-attacks] [-rpc]
 //	      [-fault-rate 0] [-admit-watermark 0]
+//	      [-durability DIR] [-fsync per-op|group|async] [-snapshot-every 0]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"u1/internal/metrics"
 	"u1/internal/server"
 	"u1/internal/trace"
+	"u1/internal/wal"
 	"u1/internal/workload"
 )
 
@@ -37,14 +39,27 @@ func main() {
 	keepRPC := flag.Bool("rpc", false, "also write rpc span records (large)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
 	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
+	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
+	fsync := flag.String("fsync", "per-op", "journal fsync policy: per-op, group, or async")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between per-shard snapshots (0 = metadata default)")
 	flag.Parse()
 
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	cluster := server.NewCluster(server.Config{
+	cluster, err := server.OpenCluster(server.Config{
 		Seed: *seed, AuthFailureRate: 0.0276,
 		FaultPlan:      faults.Uniform(*seed, *faultRate),
 		AdmitWatermark: *admitWatermark,
+		Durability:     *durability,
+		FsyncPolicy:    policy,
+		SnapshotEvery:  *snapshotEvery,
 	})
+	if err != nil {
+		log.Fatalf("opening cluster: %v", err)
+	}
 	col := trace.NewCollector(trace.Config{
 		Start:          workload.PaperStart,
 		Days:           *days,
@@ -74,6 +89,15 @@ func main() {
 		fmt.Printf("faults: injected %d, shed %d, retried %d (succeeded %d)\n",
 			c[metrics.FaultsPrefix+"injected"], c[metrics.FaultsPrefix+"shed"],
 			c[metrics.FaultsPrefix+"retried"], c[metrics.FaultsPrefix+"retry_succeeded"])
+	}
+	if *durability != "" {
+		if err := cluster.Close(); err != nil {
+			log.Fatalf("closing cluster: %v", err)
+		}
+		c := cluster.Metrics.Snapshot().Counters
+		fmt.Printf("durability (%s): %d journaled ops, %d WAL appends, %d snapshots\n",
+			policy, c[metrics.WALPrefix+"journaled"], c[metrics.WALPrefix+"appends"],
+			c[metrics.WALPrefix+"snapshots"])
 	}
 
 	if err := col.WriteCSV(*out); err != nil {

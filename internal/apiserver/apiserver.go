@@ -13,8 +13,8 @@
 // through an ordered interceptor chain into a per-op handler table built at
 // server construction:
 //
-//	proc-load → metrics → events → status-map → inject → notify →
-//	session-guard → admit → cancel → handler
+//	proc-load → metrics → events → status-map → inject → durability →
+//	notify → session-guard → admit → cancel → handler
 //
 // Handlers (one registered Handler per protocol.Op) contain only the
 // operation's business logic: they issue DAL RPCs that charge their sampled
@@ -51,6 +51,7 @@ import (
 	"u1/internal/notify"
 	"u1/internal/protocol"
 	"u1/internal/rpc"
+	"u1/internal/wal"
 )
 
 // Event is one completed API-level operation, the unit of the paper's
@@ -123,6 +124,13 @@ type Config struct {
 	// further data operations are refused with StatusOverloaded (metadata at
 	// 2x, session management at 4x). Zero disables shedding.
 	AdmitWatermark int
+	// Durability marks the metadata store as journaled: the durability
+	// interceptor charges FsyncPolicy's sync cost to every successful
+	// mutating operation, pricing the write-ahead log into the request path.
+	Durability bool
+	// FsyncPolicy is the journal sync policy whose deterministic cost the
+	// durability interceptor charges; ignored unless Durability is set.
+	FsyncPolicy wal.Policy
 }
 
 // Session is one storage-protocol session: one desktop client connection
@@ -189,6 +197,12 @@ type Server struct {
 	faultRetried      *metrics.Counter
 	faultRetrySuccess *metrics.Counter
 
+	// Durability accounting: successful mutations charged with the journal
+	// sync cost, and the cost itself (resolved once from the fsync policy so
+	// the request path never re-derives it).
+	walJournaled *metrics.Counter
+	syncCost     time.Duration
+
 	uploadsMu sync.Mutex
 	uploads   map[protocol.UploadID]*pendingUpload
 }
@@ -232,6 +246,11 @@ func New(cfg Config, deps Deps) *Server {
 		faultShed:         deps.Metrics.Counter(metrics.FaultsPrefix + "shed"),
 		faultRetried:      deps.Metrics.Counter(metrics.FaultsPrefix + "retried"),
 		faultRetrySuccess: deps.Metrics.Counter(metrics.FaultsPrefix + "retry_succeeded"),
+
+		walJournaled: deps.Metrics.Counter(metrics.WALPrefix + "journaled"),
+	}
+	if cfg.Durability {
+		s.syncCost = cfg.FsyncPolicy.SyncCost()
 	}
 	if cfg.AdmitWatermark > 0 {
 		s.admission = faults.NewAdmission(cfg.Procs, cfg.AdmitWatermark)

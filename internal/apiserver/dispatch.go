@@ -178,15 +178,16 @@ func (s *Server) buildPipeline() {
 		name string
 		ic   Interceptor
 	}{
-		{"proc-load", s.procLoadInterceptor},  // per-process op counters
-		{"metrics", s.metricsInterceptor},     // per-op latency histogram + outcome counters
-		{"events", s.eventInterceptor},        // uniform trace-event emission to observers
-		{"status-map", s.statusInterceptor},   // uniform error→Status mapping + correlation ID
-		{"inject", s.injectInterceptor},       // deterministic per-op fault injection
-		{"notify", s.notifyInterceptor},       // queued volume/share push delivery on success
-		{"session-guard", s.guardInterceptor}, // admission: no session, no service
-		{"admit", s.admitInterceptor},         // per-op-class load shedding under overload
-		{"cancel", s.cancelInterceptor},       // drop deadline-expired / client-abandoned work
+		{"proc-load", s.procLoadInterceptor},    // per-process op counters
+		{"metrics", s.metricsInterceptor},       // per-op latency histogram + outcome counters
+		{"events", s.eventInterceptor},          // uniform trace-event emission to observers
+		{"status-map", s.statusInterceptor},     // uniform error→Status mapping + correlation ID
+		{"inject", s.injectInterceptor},         // deterministic per-op fault injection
+		{"durability", s.durabilityInterceptor}, // journal sync cost on successful mutations
+		{"notify", s.notifyInterceptor},         // queued volume/share push delivery on success
+		{"session-guard", s.guardInterceptor},   // admission: no session, no service
+		{"admit", s.admitInterceptor},           // per-op-class load shedding under overload
+		{"cancel", s.cancelInterceptor},         // drop deadline-expired / client-abandoned work
 	}
 	wraps := make([]Interceptor, len(ics))
 	for i, x := range ics {
@@ -263,6 +264,43 @@ func (s *Server) injectInterceptor(next Handler) Handler {
 		resp, err := next(c)
 		if err == nil && c.Req.Attempt > 0 {
 			s.faultRetrySuccess.Inc()
+		}
+		return resp, err
+	}
+}
+
+// journalsMutation reports whether the request's op class reaches the
+// metadata journal: every metadata mutation, content commits (PutContent,
+// and PutPart only when it carries the final part — earlier parts touch just
+// the transient uploadjob, which is not journaled), and nothing on the read
+// or session paths. Authenticate is excluded even though a first login
+// provisions the account: account creation is the SSO tier's slow path, not
+// a client-visible write the durability invariant covers.
+func journalsMutation(req *protocol.Request) bool {
+	switch req.Op {
+	case protocol.OpMakeFile, protocol.OpMakeDir, protocol.OpUnlink,
+		protocol.OpMove, protocol.OpCreateUDF, protocol.OpDeleteVolume,
+		protocol.OpCreateShare, protocol.OpAcceptShare, protocol.OpPutContent:
+		return true
+	case protocol.OpPutPart:
+		return req.Final
+	}
+	return false
+}
+
+// durabilityInterceptor is the third cross-cutting family promised by the
+// pipeline redesign: it prices the write-ahead journal into the request
+// path. A successful mutating operation is charged the fsync policy's
+// deterministic sync cost — a pure function of the policy, never of host
+// disk speed, so fixed-seed runs stay reproducible — and counted. It sits
+// inside status-map (it must see the raw handler error) and after inject, so
+// preempted requests, which did no back-end work, are never charged.
+func (s *Server) durabilityInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		resp, err := next(c)
+		if err == nil && s.cfg.Durability && journalsMutation(c.Req) {
+			c.Cost.Add(s.syncCost)
+			s.walJournaled.Inc()
 		}
 		return resp, err
 	}

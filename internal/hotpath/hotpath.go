@@ -16,6 +16,7 @@ package hotpath
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"u1/internal/protocol"
 	"u1/internal/rpc"
 	"u1/internal/server"
+	"u1/internal/wal"
 	"u1/internal/workload"
 )
 
@@ -174,6 +176,46 @@ func MeasureGenerator(users, days int) metrics.GeneratorStats {
 		st.Speedup = st.ParallelEventsPerSec / st.SerialEventsPerSec
 	}
 	return st
+}
+
+// MeasureDurability prices the metadata WAL under each fsync policy: appends
+// per second against a throwaway journal in dir (a temp directory the caller
+// owns), the measured sync-per-append ratio of the policy's cadence, and the
+// deterministic per-mutation cost the durability interceptor charges. ops ≤ 0
+// picks a default small enough that even per-op fsync finishes in seconds.
+func MeasureDurability(dir string, ops int) (metrics.DurabilityStats, error) {
+	if ops <= 0 {
+		ops = 512
+	}
+	payload := make([]byte, 256)
+	st := metrics.DurabilityStats{Policies: make(map[string]metrics.WALPolicyStats, 3)}
+	for _, policy := range wal.Policies() {
+		log, err := wal.Open(filepath.Join(dir, policy.String()), wal.Options{Policy: policy})
+		if err != nil {
+			return st, err
+		}
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if _, err := log.Append(payload); err != nil {
+				log.Close() //nolint:errcheck
+				return st, err
+			}
+		}
+		elapsed := time.Since(start)
+		appends, syncs := log.Stats()
+		if err := log.Close(); err != nil {
+			return st, err
+		}
+		ps := metrics.WALPolicyStats{SyncCostMs: float64(policy.SyncCost()) / float64(time.Millisecond)}
+		if elapsed > 0 {
+			ps.AppendsPerSec = float64(appends) / elapsed.Seconds()
+		}
+		if appends > 0 {
+			ps.SyncsPerAppend = float64(syncs) / float64(appends)
+		}
+		st.Policies[policy.String()] = ps
+	}
+	return st, nil
 }
 
 // generationRate runs one generation and returns events per wall second.

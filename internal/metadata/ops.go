@@ -35,6 +35,7 @@ func (s *Store) CreateUser(user protocol.UserID) (protocol.VolumeInfo, error) {
 		sharesIn:  make(map[protocol.ShareID]struct{}),
 		sharesOut: make(map[protocol.ShareID]struct{}),
 	}
+	s.journal(sh, &journalRecord{Kind: recCreateUser, User: user, Volume: vol.info, Root: vol.root})
 	return vol.info, nil
 }
 
@@ -201,6 +202,7 @@ func (s *Store) CreateUDF(user protocol.UserID, path string) (protocol.VolumeInf
 	}
 	vol := s.newVolumeLocked(sh, user, protocol.VolumeUDF, path)
 	u.volumes[vol.info.ID] = struct{}{}
+	s.journal(sh, &journalRecord{Kind: recCreateUDF, User: user, Volume: vol.info, Root: vol.root})
 	return vol.info, nil
 }
 
@@ -264,7 +266,11 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 		if u := sh.users[user]; u != nil {
 			delete(u.sharesOut, shareID)
 		}
+		if gu, ok := sh.users[grantee]; ok {
+			delete(gu.sharesIn, shareID) // grantee happens to share this shard
+		}
 	}
+	s.journal(sh, &journalRecord{Kind: recDeleteVolume, User: user, VolID: vol})
 	sh.wunlock(lockedAt)
 	s.volumeDir.Delete(vol)
 
@@ -278,6 +284,7 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 		if gu := gsh.users[grantee]; gu != nil {
 			delete(gu.sharesIn, shareID)
 		}
+		s.journal(gsh, &journalRecord{Kind: recDropShare, Share: protocol.ShareInfo{ID: shareID, SharedTo: grantee}})
 		gsh.wunlock(gLockedAt)
 	}
 
@@ -348,6 +355,7 @@ func (s *Store) makeNode(user protocol.UserID, vol protocol.VolumeID, parent pro
 	vr.nodes[nr.info.ID] = struct{}{}
 	pr.children[name] = nr.info.ID
 	s.appendLog(sh, vr, nr.info, false)
+	s.journal(sh, &journalRecord{Kind: recMakeNode, Node: nr.info})
 	return nr.info, nil
 }
 
@@ -401,6 +409,7 @@ func (s *Store) MakeContent(user protocol.UserID, vol protocol.VolumeID, node pr
 	nr.info.Size = size
 	nr.info.Generation = vr.bumpGen()
 	s.appendLog(sh, vr, nr.info, false)
+	s.journal(sh, &journalRecord{Kind: recMakeContent, Node: nr.info})
 	info = nr.info
 	sh.wunlock(lockedAt)
 
@@ -523,6 +532,7 @@ func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protoco
 		removed[i].Generation = gen
 		s.appendLog(sh, vr, removed[i], true)
 	}
+	s.journal(sh, &journalRecord{Kind: recUnlink, VolID: vol, Gen: gen, Removed: removed})
 	sh.wunlock(lockedAt)
 
 	for _, n := range removed {
@@ -591,6 +601,7 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 	nr.info.Generation = vr.bumpGen()
 	pr.children[newName] = node
 	s.appendLog(sh, vr, nr.info, false)
+	s.journal(sh, &journalRecord{Kind: recMove, Node: nr.info})
 	return nr.info, nil
 }
 
@@ -707,6 +718,10 @@ func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to pro
 	vr.grants[to] = share.ID
 	ou.sharesOut[share.ID] = struct{}{}
 	gu.sharesIn[share.ID] = struct{}{}
+	s.journal(osh, &journalRecord{Kind: recCreateShare, Share: share})
+	if osh != gsh {
+		s.journal(gsh, &journalRecord{Kind: recCreateShare, Share: share})
+	}
 	return share, nil
 }
 
@@ -723,6 +738,7 @@ func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol
 	share.Accepted = true
 	owner := share.SharedBy
 	out := *share
+	s.journal(gsh, &journalRecord{Kind: recAcceptShare, Share: out})
 	gsh.wunlock(gLockedAt)
 
 	// Mirror the accepted flag in the owner's shard copy.
@@ -732,6 +748,7 @@ func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol
 		if ownerCopy, ok := osh.shares[id]; ok {
 			ownerCopy.Accepted = true
 		}
+		s.journal(osh, &journalRecord{Kind: recAcceptShare, Share: out})
 		osh.wunlock(oLockedAt)
 	}
 	return out, nil

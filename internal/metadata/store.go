@@ -27,6 +27,7 @@ import (
 
 	"u1/internal/metrics"
 	"u1/internal/protocol"
+	"u1/internal/wal"
 )
 
 // Config parameterizes the store.
@@ -41,6 +42,16 @@ type Config struct {
 	// delta/cascade counters. nil disables registration (the handles still
 	// work, they are just not exported anywhere).
 	Metrics *metrics.Registry
+	// Durability, when non-empty, is the root directory of the durable tier:
+	// each shard keeps a journal and snapshot under <Durability>/shard-<i>.
+	// Empty keeps the store purely in-memory (the pre-durability behavior).
+	Durability string
+	// FsyncPolicy selects when journal appends reach stable storage; the
+	// zero value is wal.FsyncPerOp, the strongest setting.
+	FsyncPolicy wal.Policy
+	// SnapshotEvery is the per-shard journal record count between snapshots.
+	// 0 means DefaultSnapshotEvery.
+	SnapshotEvery int
 }
 
 // DefaultDeltaLogLimit is the per-volume delta log bound used when the
@@ -68,6 +79,10 @@ type Store struct {
 	contents *contentRegistry
 	m        storeMetrics
 
+	// dur is the durable tier (per-shard journal + snapshot); nil for
+	// in-memory stores.
+	dur *durability
+
 	// volumeDir maps every live volume to its owner, the directory the
 	// request router consults to find the shard that holds a volume that is
 	// not the caller's (shared volumes may live in a different shard).
@@ -80,8 +95,21 @@ type Store struct {
 }
 
 // New creates a store with cfg. A zero config yields 10 shards, matching the
-// U1 deployment.
+// U1 deployment. New panics when recovery of a durable store fails; callers
+// that need the error (anything reopening real state) use Open.
 func New(cfg Config) *Store {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("metadata: opening store: %v", err))
+	}
+	return s
+}
+
+// Open creates a store with cfg and, when cfg.Durability names a directory,
+// recovers every shard from its snapshot plus journal before returning. The
+// error is non-nil only for durable stores whose on-disk state cannot be
+// opened.
+func Open(cfg Config) (*Store, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 10
 	}
@@ -101,7 +129,12 @@ func New(cfg Config) *Store {
 	for i := range s.shards {
 		s.shards[i] = newShard(i, cfg.DeltaLogLimit, cfg.Metrics)
 	}
-	return s
+	if cfg.Durability != "" {
+		if err := s.openDurability(cfg, cfg.Metrics); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // NumShards returns the shard count.
@@ -153,6 +186,17 @@ func (s *Store) allocShare() protocol.ShareID {
 
 func (s *Store) allocUpload() protocol.UploadID {
 	return protocol.UploadID(atomic.AddUint64(&s.nextUpload, 1))
+}
+
+// bumpTo raises the allocator at addr to at least v, so identifiers observed
+// in recovered state are never reissued.
+func bumpTo(addr *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(addr)
+		if cur >= v || atomic.CompareAndSwapUint64(addr, cur, v) {
+			return
+		}
+	}
 }
 
 // shardMetrics holds one shard's registered handles: counters mirroring the

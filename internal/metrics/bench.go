@@ -27,6 +27,9 @@ const (
 	// apiserver's fault-injection / admission-control / client-retry
 	// counters, folded into the report's faults section.
 	FaultsPrefix = "faults."
+	// WALPrefix + {"appends"|"snapshots"|"replayed"|"torn_bytes_dropped"|
+	// "errors"|"journaled"} — the durable metadata tier's journal activity.
+	WALPrefix = "wal."
 )
 
 // OpStats is one operation class in a benchmark report.
@@ -74,6 +77,22 @@ type GeneratorStats struct {
 	Speedup              float64 `json:"speedup"`
 }
 
+// WALPolicyStats prices one fsync policy of the durable metadata tier:
+// measured journal append throughput, the sync-per-append ratio of the
+// policy's cadence, and the deterministic per-mutation sync cost the
+// durability interceptor charges to the request path.
+type WALPolicyStats struct {
+	AppendsPerSec  float64 `json:"appends_per_sec"`
+	SyncsPerAppend float64 `json:"syncs_per_append"`
+	SyncCostMs     float64 `json:"sync_cost_ms"`
+}
+
+// DurabilityStats is the report's durability section: the WAL priced under
+// each fsync policy (per-op, group, async), keyed by policy name.
+type DurabilityStats struct {
+	Policies map[string]WALPolicyStats `json:"policies"`
+}
+
 // FaultStats is the report's fault-machinery section: how many requests the
 // fault plan injected failures into, how many admission control shed, and
 // how much retried client traffic arrived (and recovered). Present only in
@@ -114,6 +133,10 @@ type BenchReport struct {
 	// Faults summarizes fault injection, load shedding and client retries;
 	// omitted for failure-free runs.
 	Faults *FaultStats `json:"faults,omitempty"`
+	// Durability prices the metadata WAL's fsync policies (measured by
+	// internal/hotpath.MeasureDurability); omitted by producers predating the
+	// durable tier.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }

@@ -119,6 +119,27 @@ func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
 			prev.Generator.ParallelEventsPerSec, next.Generator.ParallelEventsPerSec)
 	}
 
+	// Durability pricing (schema generation 6 on) compares only when both
+	// reports carry it: append throughput is a real throughput check; the
+	// modeled sync cost is compared as a latency so an accidental cost-model
+	// change (the 5 ms fsync floor, the group-commit amortization) is flagged.
+	if prev.Durability != nil && next.Durability != nil {
+		policies := make([]string, 0, len(prev.Durability.Policies))
+		for name := range prev.Durability.Policies {
+			policies = append(policies, name)
+		}
+		sort.Strings(policies)
+		for _, name := range policies {
+			pp := prev.Durability.Policies[name]
+			np, ok := next.Durability.Policies[name]
+			if !ok {
+				continue
+			}
+			throughput("durability."+name+".appends_per_sec", pp.AppendsPerSec, np.AppendsPerSec)
+			latency("durability."+name+".sync_cost_ms", pp.SyncCostMs, np.SyncCostMs)
+		}
+	}
+
 	// Fault-machinery counts (schema generation 5 on) compare only when both
 	// reports carry them, and informationally: injected/shed volumes follow
 	// the run's fault configuration, so a delta is a visibility aid, never a

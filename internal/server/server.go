@@ -20,6 +20,7 @@ import (
 	"u1/internal/metrics"
 	"u1/internal/notify"
 	"u1/internal/rpc"
+	"u1/internal/wal"
 )
 
 // DefaultMachines are the API server machine names. The paper's trace shows
@@ -68,6 +69,17 @@ type Config struct {
 	// fresh one; every tier of the Fig. 1 deployment records into it and it
 	// is exposed as Cluster.Metrics.
 	Metrics *metrics.Registry
+	// Durability, when non-empty, roots the metadata store's durable tier in
+	// this directory: per-shard write-ahead journals plus snapshots, with
+	// recovery on open. Empty keeps the store in-memory.
+	Durability string
+	// FsyncPolicy selects when journal appends reach stable storage (and the
+	// deterministic sync cost charged to mutating requests). The zero value
+	// is wal.FsyncPerOp. Ignored unless Durability is set.
+	FsyncPolicy wal.Policy
+	// SnapshotEvery is the per-shard journal record count between snapshots
+	// (0 → metadata.DefaultSnapshotEvery). Ignored unless Durability is set.
+	SnapshotEvery int
 }
 
 // Cluster is a fully wired U1 back-end.
@@ -87,8 +99,19 @@ type Cluster struct {
 	gatewayShards int
 }
 
-// NewCluster wires a cluster from cfg.
+// NewCluster wires a cluster from cfg. It panics when recovering a durable
+// metadata store fails; deployments reopening real state use OpenCluster.
 func NewCluster(cfg Config) *Cluster {
+	c, err := OpenCluster(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server: opening cluster: %v", err))
+	}
+	return c
+}
+
+// OpenCluster wires a cluster from cfg, surfacing metadata recovery errors
+// when cfg.Durability names a directory with unreadable state.
+func OpenCluster(cfg Config) (*Cluster, error) {
 	if len(cfg.Machines) == 0 {
 		cfg.Machines = DefaultMachines
 	}
@@ -108,7 +131,17 @@ func NewCluster(cfg Config) *Cluster {
 		reg = metrics.NewRegistry()
 	}
 
-	store := metadata.New(metadata.Config{Shards: cfg.Shards, DeltaLogLimit: cfg.DeltaLogLimit, Metrics: reg})
+	store, err := metadata.Open(metadata.Config{
+		Shards:        cfg.Shards,
+		DeltaLogLimit: cfg.DeltaLogLimit,
+		Metrics:       reg,
+		Durability:    cfg.Durability,
+		FsyncPolicy:   cfg.FsyncPolicy,
+		SnapshotEvery: cfg.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
 	blobStore := blob.New(blob.Config{KeepData: cfg.InlineData, Metrics: reg})
 	authSvc := auth.New(auth.Config{FailureRate: cfg.AuthFailureRate, Seed: seed})
 	broker := notify.NewBroker()
@@ -149,11 +182,19 @@ func NewCluster(cfg Config) *Cluster {
 			InlineData:     cfg.InlineData,
 			Faults:         cfg.FaultPlan,
 			AdmitWatermark: cfg.AdmitWatermark,
+			Durability:     cfg.Durability != "",
+			FsyncPolicy:    cfg.FsyncPolicy,
 		}, deps)
 		c.Servers = append(c.Servers, srv)
 		c.byName[name] = srv
 	}
-	return c
+	return c, nil
+}
+
+// Close flushes the cluster's durable state: the metadata store snapshots
+// every shard and closes its journals. In-memory clusters return nil.
+func (c *Cluster) Close() error {
+	return c.Store.Close()
 }
 
 // Server returns an API server by machine name.
