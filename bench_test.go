@@ -60,6 +60,11 @@ func benchTrace(b *testing.B) (*analysis.Trace, *analysis.Trace) {
 		days := envInt("U1_BENCH_DAYS", 10)
 		cluster := server.NewCluster(server.Config{
 			Seed: 2, AuthFailureRate: 0.0276, DeltaLogLimit: 96,
+			// Two regions with read-your-writes routing: replication runs as
+			// pure background at the epoch barriers, so the trace stream is
+			// bit-identical to the single-region one while the report gains
+			// the replication section.
+			Regions: 2, ReplicationDelay: 1,
 		})
 		col := trace.NewCollector(trace.Config{
 			Start: workload.PaperStart, Days: days,
@@ -379,19 +384,20 @@ func benchGeneration(b *testing.B, workers int) {
 func BenchmarkTraceGeneration(b *testing.B) { benchGeneration(b, 0) }
 
 // BenchmarkTraceGenerationSerial pins Workers=1: the bit-for-bit serial
-// stream, the baseline the generator section of BENCH_6.json records.
+// stream, the baseline the generator section of BENCH_7.json records.
 func BenchmarkTraceGenerationSerial(b *testing.B) { benchGeneration(b, 1) }
 
 // BenchmarkObservability snapshots the live metrics registry of the shared
 // bench cluster, derives the machine-readable benchmark report (ops/sec,
 // per-op p50/p95/p99 latency, shard balance, contended hot-path throughput,
-// durability pricing) and writes it to BENCH_6.json (override with
+// durability pricing, cross-region replication) and writes it to
+// BENCH_7.json (override with
 // U1_BENCH_OUT, empty disables) — the artifact the CI bench-smoke job
 // archives as the repo's perf trajectory and diffs against the committed
 // previous report.
 func BenchmarkObservability(b *testing.B) {
 	benchTrace(b)
-	out := "BENCH_6.json"
+	out := "BENCH_7.json"
 	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
 		out = v
 	}
@@ -432,6 +438,9 @@ func BenchmarkObservability(b *testing.B) {
 	}
 	if rep.Generator == nil || rep.Generator.SerialEventsPerSec <= 0 || rep.Generator.ParallelEventsPerSec <= 0 {
 		b.Fatalf("generator section missing from report: %+v", rep.Generator)
+	}
+	if rep.Replication == nil || rep.Replication.Published == 0 || rep.Replication.Applied == 0 {
+		b.Fatalf("replication section missing from report: %+v", rep.Replication)
 	}
 	ds, err := hotpath.MeasureDurability(b.TempDir(), 0)
 	if err != nil {

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0]
-//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_6.json]
+//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_7.json]
 //	        [-durability DIR] [-fsync per-op|group|async] [-snapshot-every 0]
+//	        [-regions 0] [-repl-delay 0] [-eventual]
 package main
 
 import (
@@ -35,10 +36,13 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
 	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
-	benchOut := flag.String("bench-out", "BENCH_6.json", "benchmark report path (empty to skip)")
+	benchOut := flag.String("bench-out", "BENCH_7.json", "benchmark report path (empty to skip)")
 	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
 	fsync := flag.String("fsync", "per-op", "journal fsync policy: per-op, group, or async")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between per-shard snapshots (0 = metadata default)")
+	regions := flag.Int("regions", 0, "metadata regions with asynchronous cross-region replication (<= 1 disables)")
+	replDelay := flag.Int("repl-delay", 0, "cross-region replication delay in epochs")
+	eventual := flag.Bool("eventual", false, "serve cross-region reads from the local replica instead of the owner shard")
 	flag.Parse()
 
 	policy, err := wal.ParsePolicy(*fsync)
@@ -54,6 +58,10 @@ func main() {
 		Durability:     *durability,
 		FsyncPolicy:    policy,
 		SnapshotEvery:  *snapshotEvery,
+
+		Regions:          *regions,
+		ReplicationDelay: *replDelay,
+		EventualReads:    *eventual,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -221,6 +229,12 @@ func main() {
 	if rep.Faults != nil {
 		fmt.Printf("faults: injected %d, shed %d, retried %d (succeeded %d)\n",
 			rep.Faults.Injected, rep.Faults.Shed, rep.Faults.Retried, rep.Faults.RetrySucceeded)
+	}
+	if rep.Replication != nil {
+		fmt.Printf("replication: published %d, applied %d, LWW-skipped %d, backlog %d, lag mean/max %.1f/%.0f epochs, reads local/remote/stale %d/%d/%d\n",
+			rep.Replication.Published, rep.Replication.Applied, rep.Replication.LWWSkipped,
+			rep.Replication.BacklogDepth, rep.Replication.LagMeanEp, rep.Replication.LagMaxEp,
+			rep.Replication.ReadsLocal, rep.Replication.ReadsRemote, rep.Replication.ReadsStale)
 	}
 
 	// Contended hot-path calibration: serial vs parallel ops/sec on the

@@ -42,6 +42,9 @@ func main() {
 	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
 	fsync := flag.String("fsync", "per-op", "journal fsync policy: per-op, group, or async")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between per-shard snapshots (0 = metadata default)")
+	regions := flag.Int("regions", 0, "metadata regions with asynchronous cross-region replication (<= 1 disables)")
+	replDelay := flag.Int("repl-delay", 0, "cross-region replication delay in epochs")
+	eventual := flag.Bool("eventual", false, "serve cross-region reads from the local replica instead of the owner shard")
 	flag.Parse()
 
 	policy, err := wal.ParsePolicy(*fsync)
@@ -56,6 +59,10 @@ func main() {
 		Durability:     *durability,
 		FsyncPolicy:    policy,
 		SnapshotEvery:  *snapshotEvery,
+
+		Regions:          *regions,
+		ReplicationDelay: *replDelay,
+		EventualReads:    *eventual,
 	})
 	if err != nil {
 		log.Fatalf("opening cluster: %v", err)
@@ -89,6 +96,15 @@ func main() {
 		fmt.Printf("faults: injected %d, shed %d, retried %d (succeeded %d)\n",
 			c[metrics.FaultsPrefix+"injected"], c[metrics.FaultsPrefix+"shed"],
 			c[metrics.FaultsPrefix+"retried"], c[metrics.FaultsPrefix+"retry_succeeded"])
+	}
+	if *regions > 1 {
+		cluster.Store.DrainReplication()
+		c := cluster.Metrics.Snapshot().Counters
+		fmt.Printf("replication (%d regions, delay %d): %d published, %d applied, %d LWW-skipped, reads local/remote/stale %d/%d/%d\n",
+			*regions, *replDelay,
+			c[metrics.ReplicationPrefix+"published"], c[metrics.ReplicationPrefix+"applied"],
+			c[metrics.ReplicationPrefix+"lww_skipped"], c[metrics.ReplicationPrefix+"reads.local"],
+			c[metrics.ReplicationPrefix+"reads.remote"], c[metrics.ReplicationPrefix+"reads.stale"])
 	}
 	if *durability != "" {
 		if err := cluster.Close(); err != nil {

@@ -89,6 +89,17 @@ type PusherFunc func(*protocol.Push)
 // Push implements Pusher.
 func (f PusherFunc) Push(p *protocol.Push) { f(p) }
 
+// RegionRouter is the metadata tier's region-topology probe: the region
+// interceptor consults it to refuse mutations whose owning metadata region is
+// down before any back-end work is spent. The metadata store implements it.
+type RegionRouter interface {
+	// WriteUnavailable reports whether a mutation on vol would be refused
+	// because its owning region is down.
+	WriteUnavailable(vol protocol.VolumeID) bool
+	// NumRegions returns the configured region count (1 disables routing).
+	NumRegions() int
+}
+
 // Deps are the shared back-end services an API server talks to.
 type Deps struct {
 	RPC      *rpc.Server
@@ -100,6 +111,10 @@ type Deps struct {
 	// counts aggregate across all API servers wired to the same registry.
 	// nil keeps the server fully functional but unobserved.
 	Metrics *metrics.Registry
+	// Regions, when non-nil and reporting more than one region, enables the
+	// region interceptor: mutations owned by a down metadata region are
+	// refused with StatusUnavailable at the API edge.
+	Regions RegionRouter
 }
 
 // Config parameterizes one API server machine.
@@ -181,6 +196,12 @@ type Server struct {
 	// interceptor; nil when Config.AdmitWatermark is zero.
 	admission *faults.Admission
 
+	// regions is the metadata region-topology probe behind the region
+	// interceptor; nil for single-region deployments (the common case), so
+	// the interceptor is a passthrough.
+	regions       RegionRouter
+	regionRefused *metrics.Counter
+
 	// Per-op instrumentation handles, indexed by protocol.Op. Resolved once
 	// at construction so the request path records through plain pointers.
 	opSeconds      []*metrics.Histogram
@@ -254,6 +275,10 @@ func New(cfg Config, deps Deps) *Server {
 	}
 	if cfg.AdmitWatermark > 0 {
 		s.admission = faults.NewAdmission(cfg.Procs, cfg.AdmitWatermark)
+	}
+	if deps.Regions != nil && deps.Regions.NumRegions() > 1 {
+		s.regions = deps.Regions
+		s.regionRefused = deps.Metrics.Counter("api.region.refused")
 	}
 	ops := protocol.Ops()
 	s.opSeconds = make([]*metrics.Histogram, len(ops))

@@ -183,6 +183,7 @@ func (s *Server) buildPipeline() {
 		{"events", s.eventInterceptor},          // uniform trace-event emission to observers
 		{"status-map", s.statusInterceptor},     // uniform error→Status mapping + correlation ID
 		{"inject", s.injectInterceptor},         // deterministic per-op fault injection
+		{"region", s.regionInterceptor},         // refuse mutations owned by a down metadata region
 		{"durability", s.durabilityInterceptor}, // journal sync cost on successful mutations
 		{"notify", s.notifyInterceptor},         // queued volume/share push delivery on success
 		{"session-guard", s.guardInterceptor},   // admission: no session, no service
@@ -286,6 +287,26 @@ func journalsMutation(req *protocol.Request) bool {
 		return req.Final
 	}
 	return false
+}
+
+// regionInterceptor refuses mutations whose owning metadata region is down
+// with StatusUnavailable before any back-end work is spent — the API edge's
+// view of regional failure, mirroring what the store's own write guard would
+// return from deeper in the stack. It sits inside status-map (uniform
+// error→status mapping) and before durability, so refused mutations are
+// never charged a journal sync. Reads pass through untouched: the store
+// routes them to a surviving region's replica. A passthrough in
+// single-region deployments.
+func (s *Server) regionInterceptor(next Handler) Handler {
+	return func(c *OpContext) (*protocol.Response, error) {
+		if s.regions != nil && c.Req.Volume != 0 && journalsMutation(c.Req) &&
+			s.regions.WriteUnavailable(c.Req.Volume) {
+			c.preempted = true
+			s.regionRefused.Inc()
+			return nil, fmt.Errorf("%w: metadata region down", protocol.ErrUnavailable)
+		}
+		return next(c)
+	}
 }
 
 // durabilityInterceptor is the third cross-cutting family promised by the

@@ -52,7 +52,7 @@ func TestUnknownOpTableDefault(t *testing.T) {
 // matches the documented order and that construction is reproducible: two
 // servers built from the same config report identical chains.
 func TestInterceptorOrderDeterministic(t *testing.T) {
-	want := []string{"proc-load", "metrics", "events", "status-map", "inject", "durability", "notify", "session-guard", "admit", "cancel"}
+	want := []string{"proc-load", "metrics", "events", "status-map", "inject", "region", "durability", "notify", "session-guard", "admit", "cancel"}
 	a, b := newFixture(t), newFixture(t)
 	if got := a.srv.InterceptorOrder(); !reflect.DeepEqual(got, want) {
 		t.Errorf("interceptor order = %v, want %v", got, want)

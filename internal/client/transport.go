@@ -17,6 +17,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"u1/internal/protocol"
 	"u1/internal/wire"
@@ -50,6 +51,12 @@ type TCPTransport struct {
 	nextID uint64
 	pushes chan *protocol.Push
 	done   chan struct{}
+
+	// sleep realizes Request.Delay — the client's accumulated retry backoff —
+	// as real wall-clock waiting before the request goes on the wire.
+	// Injectable so tests observe the backoff without actually sleeping;
+	// DialTCP wires time.Sleep.
+	sleep func(time.Duration)
 }
 
 // DialTCP connects to an API server (or the gateway in front of it).
@@ -63,6 +70,7 @@ func DialTCP(addr string) (*TCPTransport, error) {
 		pending: make(map[uint64]chan *protocol.Response),
 		pushes:  make(chan *protocol.Push, 64),
 		done:    make(chan struct{}),
+		sleep:   time.Sleep,
 	}
 	go t.readLoop()
 	return t, nil
@@ -122,6 +130,11 @@ func (t *TCPTransport) fail(err error) {
 
 // Do implements Transport.
 func (t *TCPTransport) Do(req *protocol.Request) (*protocol.Response, error) {
+	// Retry backoff is real time on a real connection: wait it out before
+	// the request goes on the wire. First attempts (Delay == 0) never sleep.
+	if req.Delay > 0 && t.sleep != nil {
+		t.sleep(req.Delay)
+	}
 	req.ID = atomic.AddUint64(&t.nextID, 1)
 	ch := make(chan *protocol.Response, 1)
 

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"u1/internal/protocol"
+	"u1/internal/wire"
+)
+
+// echoServer accepts one connection and answers every request frame with an
+// empty OK response carrying the matching correlation id.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			msgType, payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if msgType != protocol.FrameRequest {
+				return
+			}
+			req, err := protocol.UnmarshalRequest(payload)
+			if err != nil {
+				return
+			}
+			resp := &protocol.Response{ID: req.ID, Status: protocol.StatusOK}
+			if err := wire.WriteFrame(conn, protocol.FrameResponse, resp.Marshal()); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTCPTransportRealizesRetryBackoff pins that Request.Delay — the client's
+// accumulated retry backoff — becomes a real wall-clock wait on the TCP
+// transport, and that first attempts (Delay == 0) skip the sleep entirely.
+func TestTCPTransportRealizesRetryBackoff(t *testing.T) {
+	tr, err := DialTCP(echoServer(t))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer tr.Close()
+
+	var slept []time.Duration
+	tr.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, err := tr.Do(&protocol.Request{Op: protocol.OpPing}); err != nil {
+		t.Fatalf("first attempt: %v", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("Delay == 0 slept %v; first attempts must not wait", slept)
+	}
+
+	if _, err := tr.Do(&protocol.Request{Op: protocol.OpPing, Attempt: 1, Delay: 50 * time.Millisecond}); err != nil {
+		t.Fatalf("retry attempt: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("retry slept %v; want exactly one 50ms wait", slept)
+	}
+}

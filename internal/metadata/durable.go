@@ -222,6 +222,11 @@ func (s *Store) loadShard(i int) error {
 // failures are counted, not fatal: the simulated store prefers availability,
 // and the wal.errors counter makes the breach visible.
 func (s *Store) journal(sh *shard, rec *journalRecord) {
+	// The replication tier consumes the same record stream: publication under
+	// the apply lock is what makes replica replay order match owner apply
+	// order (and what guarantees acknowledged writes are already published
+	// when their region dies).
+	s.replicate(sh, rec)
 	if s.dur == nil {
 		return
 	}

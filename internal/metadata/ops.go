@@ -25,7 +25,13 @@ func (s *Store) CreateUser(user protocol.UserID) (protocol.VolumeInfo, error) {
 	sh := s.shardOf(user)
 	defer sh.wunlock(sh.wlock())
 	if u, ok := sh.users[user]; ok {
+		// Idempotent ensure for an existing user is a pure read; it must
+		// keep working while the user's home region is down so logins
+		// (Authenticate ensures the user) survive the outage.
 		return sh.volumes[u.root].info, nil
+	}
+	if err := s.writeGuard(user); err != nil {
+		return protocol.VolumeInfo{}, err
 	}
 	vol := s.newVolumeLocked(sh, user, protocol.VolumeRoot, "~/Ubuntu One")
 	sh.users[user] = &userRow{
@@ -107,6 +113,11 @@ func checkAccessLocked(sh *shard, vr *volumeRow, user protocol.UserID, write boo
 	if !ok {
 		return protocol.ErrPermission
 	}
+	// On replica shards, a grant revoked at the owner may still be in this
+	// region's replication backlog; the tombstone set revokes it immediately.
+	if sh.revoked != nil && sh.revoked(shareID) {
+		return protocol.ErrPermission
+	}
 	share, ok := sh.shares[shareID]
 	if !ok || !share.Accepted {
 		return protocol.ErrPermission
@@ -148,7 +159,7 @@ func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error)
 		if err != nil {
 			continue // volume deleted concurrently
 		}
-		osh := s.shardOf(owner)
+		osh := s.readShardFor(user, owner)
 		oLockedAt := osh.rlock()
 		if vr, ok := osh.volumes[volID]; ok {
 			info := vr.info
@@ -189,6 +200,9 @@ func (s *Store) CreateUDF(user protocol.UserID, path string) (protocol.VolumeInf
 	if path == "" {
 		return protocol.VolumeInfo{}, fmt.Errorf("%w: empty UDF path", protocol.ErrBadRequest)
 	}
+	if err := s.writeGuard(user); err != nil {
+		return protocol.VolumeInfo{}, err
+	}
 	sh := s.shardOf(user)
 	defer sh.wunlock(sh.wlock())
 	u, ok := sh.users[user]
@@ -212,7 +226,7 @@ func (s *Store) GetVolume(user protocol.UserID, vol protocol.VolumeID) (protocol
 	if err != nil {
 		return protocol.VolumeInfo{}, err
 	}
-	sh := s.shardOf(owner)
+	sh := s.readShardFor(user, owner)
 	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
@@ -235,6 +249,9 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 	}
 	if owner != user {
 		return nil, nil, protocol.ErrPermission // only owners delete volumes
+	}
+	if err := s.writeGuard(owner); err != nil {
+		return nil, nil, err
 	}
 	sh := s.shardOf(owner)
 	lockedAt := sh.wlock()
@@ -274,6 +291,18 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 	sh.wunlock(lockedAt)
 	s.volumeDir.Delete(vol)
 
+	// Eagerly tombstone every revoked grant in the peer regions: a grantee
+	// reading through its region's replica must lose access now, not when the
+	// delete record ages through the replication backlog (and a create_share
+	// still in that backlog must not resurrect the grant in between).
+	if len(grantees) > 0 && s.repl != nil {
+		shareIDs := make([]protocol.ShareID, 0, len(grantees))
+		for _, shareID := range grantees {
+			shareIDs = append(shareIDs, shareID)
+		}
+		s.revokeCrossRegion(s.RegionOf(s.ShardFor(owner)), shareIDs)
+	}
+
 	for grantee, shareID := range grantees {
 		gsh := s.shardOf(grantee)
 		if gsh == sh {
@@ -309,6 +338,9 @@ func (s *Store) makeNode(user protocol.UserID, vol protocol.VolumeID, parent pro
 	}
 	owner, err := s.ownerOf(vol)
 	if err != nil {
+		return protocol.NodeInfo{}, err
+	}
+	if err := s.writeGuard(owner); err != nil {
 		return protocol.NodeInfo{}, err
 	}
 	sh := s.shardOf(owner)
@@ -383,6 +415,9 @@ func (s *Store) MakeContent(user protocol.UserID, vol protocol.VolumeID, node pr
 	if err != nil {
 		return protocol.NodeInfo{}, nil, false, err
 	}
+	if err := s.writeGuard(owner); err != nil {
+		return protocol.NodeInfo{}, nil, false, err
+	}
 	sh := s.shardOf(owner)
 	lockedAt := sh.wlock()
 	vr, ok := sh.volumes[vol]
@@ -452,7 +487,7 @@ func (s *Store) GetNode(user protocol.UserID, vol protocol.VolumeID, node protoc
 	if err != nil {
 		return protocol.NodeInfo{}, err
 	}
-	sh := s.shardOf(owner)
+	sh := s.readShardFor(user, owner)
 	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
@@ -488,6 +523,9 @@ func (s *Store) GetRoot(user protocol.UserID) (protocol.NodeInfo, error) {
 func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protocol.NodeID) (removed []protocol.NodeInfo, gen protocol.Generation, freed []protocol.Hash, err error) {
 	owner, err := s.ownerOf(vol)
 	if err != nil {
+		return nil, 0, nil, err
+	}
+	if err := s.writeGuard(owner); err != nil {
 		return nil, 0, nil, err
 	}
 	sh := s.shardOf(owner)
@@ -554,6 +592,9 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 	if err != nil {
 		return protocol.NodeInfo{}, err
 	}
+	if err := s.writeGuard(owner); err != nil {
+		return protocol.NodeInfo{}, err
+	}
 	sh := s.shardOf(owner)
 	defer sh.wunlock(sh.wlock())
 	vr, ok := sh.volumes[vol]
@@ -613,7 +654,7 @@ func (s *Store) GetDelta(user protocol.UserID, vol protocol.VolumeID, fromGen pr
 	if err != nil {
 		return nil, 0, err
 	}
-	sh := s.shardOf(owner)
+	sh := s.readShardFor(user, owner)
 	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
@@ -649,7 +690,7 @@ func (s *Store) GetFromScratch(user protocol.UserID, vol protocol.VolumeID) ([]p
 	if err != nil {
 		return nil, 0, err
 	}
-	sh := s.shardOf(owner)
+	sh := s.readShardFor(user, owner)
 	defer sh.runlock(sh.rlock())
 	vr, ok := sh.volumes[vol]
 	if !ok {
@@ -682,6 +723,14 @@ func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to pro
 	}
 	if volOwner != owner {
 		return protocol.ShareInfo{}, protocol.ErrPermission
+	}
+	// The share row is written to both shards, so both owning regions must be
+	// serving.
+	if err := s.writeGuard(owner); err != nil {
+		return protocol.ShareInfo{}, err
+	}
+	if err := s.writeGuard(to); err != nil {
+		return protocol.ShareInfo{}, err
 	}
 	share := protocol.ShareInfo{
 		ID:       s.allocShare(),
@@ -728,6 +777,9 @@ func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to pro
 // AcceptShare marks a received share as accepted (dal.accept_share); only
 // then does the shared volume appear in the grantee's ListVolumes.
 func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol.ShareInfo, error) {
+	if err := s.writeGuard(user); err != nil {
+		return protocol.ShareInfo{}, err
+	}
 	gsh := s.shardOf(user)
 	gLockedAt := gsh.wlock()
 	share, ok := gsh.shares[id]
@@ -735,8 +787,14 @@ func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol
 		gsh.wunlock(gLockedAt)
 		return protocol.ShareInfo{}, protocol.ErrNotFound
 	}
-	share.Accepted = true
 	owner := share.SharedBy
+	// The accepted flag mirrors into the owner's shard; refuse before
+	// mutating either side if the owner's region is down.
+	if err := s.writeGuard(owner); err != nil {
+		gsh.wunlock(gLockedAt)
+		return protocol.ShareInfo{}, err
+	}
+	share.Accepted = true
 	out := *share
 	s.journal(gsh, &journalRecord{Kind: recAcceptShare, Share: out})
 	gsh.wunlock(gLockedAt)

@@ -52,6 +52,19 @@ type Config struct {
 	// SnapshotEvery is the per-shard journal record count between snapshots.
 	// 0 means DefaultSnapshotEvery.
 	SnapshotEvery int
+	// Regions partitions the shards into contiguous groups with asynchronous
+	// cross-region replication between them (see replicate.go). Values ≤ 1
+	// disable replication; values above Shards are clamped to Shards.
+	Regions int
+	// ReplicationDelay is how many replication epochs a published record waits
+	// in a peer region's backlog before applying. 0 applies records on the
+	// tick that ships them.
+	ReplicationDelay int
+	// EventualReads serves cross-region reads from the reader region's
+	// replica (possibly stale) instead of the owner shard. The default is
+	// read-your-writes: cross-region reads go to the owner unless its region
+	// is down.
+	EventualReads bool
 }
 
 // DefaultDeltaLogLimit is the per-volume delta log bound used when the
@@ -82,6 +95,10 @@ type Store struct {
 	// dur is the durable tier (per-shard journal + snapshot); nil for
 	// in-memory stores.
 	dur *durability
+
+	// repl is the cross-region replication tier (see replicate.go); nil with
+	// a single region.
+	repl *replication
 
 	// volumeDir maps every live volume to its owner, the directory the
 	// request router consults to find the shard that holds a volume that is
@@ -128,6 +145,12 @@ func Open(cfg Config) (*Store, error) {
 	}
 	for i := range s.shards {
 		s.shards[i] = newShard(i, cfg.DeltaLogLimit, cfg.Metrics)
+	}
+	if cfg.Regions > cfg.Shards {
+		cfg.Regions = cfg.Shards
+	}
+	if cfg.Regions > 1 {
+		s.repl = newReplication(cfg, cfg.Metrics)
 	}
 	if cfg.Durability != "" {
 		if err := s.openDurability(cfg, cfg.Metrics); err != nil {
@@ -223,6 +246,12 @@ type shard struct {
 	nodes      map[protocol.NodeID]*nodeRow
 	shares     map[protocol.ShareID]*protocol.ShareInfo
 	uploadjobs map[protocol.UploadID]*UploadJob
+
+	// revoked, when non-nil, reports share ids revoked at the owner but not
+	// yet replicated here. Set only on replica shards of a region (see
+	// regionState.revoked); owner shards observe revocations under their own
+	// write lock and need no tombstones.
+	revoked func(protocol.ShareID) bool
 }
 
 func newShard(id, deltaLogLimit int, reg *metrics.Registry) *shard {

@@ -30,6 +30,11 @@ const (
 	// WALPrefix + {"appends"|"snapshots"|"replayed"|"torn_bytes_dropped"|
 	// "errors"|"journaled"} — the durable metadata tier's journal activity.
 	WALPrefix = "wal."
+	// ReplicationPrefix + {"published"|"applied"|"lww_skipped"|
+	// "revoked_blocked"|"reads.local"|"reads.remote"|"reads.stale"} counters,
+	// + "backlog.depth" gauge, + "lag.epochs" histogram — the cross-region
+	// metadata replication tier.
+	ReplicationPrefix = "repl."
 )
 
 // OpStats is one operation class in a benchmark report.
@@ -104,6 +109,23 @@ type FaultStats struct {
 	RetrySucceeded uint64 `json:"retry_succeeded"`
 }
 
+// ReplicationStats is the report's cross-region replication section:
+// published vs applied record counts, conflict-rule skips, read routing
+// (local replica vs remote owner, and how many local reads were provably
+// stale), the backlog depth at snapshot time, and replication lag in epochs.
+// Present only for runs with 2+ regions.
+type ReplicationStats struct {
+	Published    uint64  `json:"published"`
+	Applied      uint64  `json:"applied"`
+	LWWSkipped   uint64  `json:"lww_skipped,omitempty"`
+	ReadsLocal   uint64  `json:"reads_local,omitempty"`
+	ReadsRemote  uint64  `json:"reads_remote,omitempty"`
+	ReadsStale   uint64  `json:"reads_stale,omitempty"`
+	BacklogDepth int64   `json:"backlog_depth"`
+	LagMeanEp    float64 `json:"lag_mean_epochs"`
+	LagMaxEp     float64 `json:"lag_max_epochs"`
+}
+
 // BenchReport is the machine-readable benchmark result (BENCH_*.json): the
 // perf trajectory record CI archives on every run.
 type BenchReport struct {
@@ -137,6 +159,9 @@ type BenchReport struct {
 	// internal/hotpath.MeasureDurability); omitted by producers predating the
 	// durable tier.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Replication summarizes the cross-region replication tier; omitted for
+	// single-region runs.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }
@@ -201,6 +226,22 @@ func BuildBenchReport(snap Snapshot, wallSeconds float64, users, days int) Bench
 	}
 	if f != (FaultStats{}) {
 		rep.Faults = &f
+	}
+	repl := ReplicationStats{
+		Published:    snap.Counters[ReplicationPrefix+"published"],
+		Applied:      snap.Counters[ReplicationPrefix+"applied"],
+		LWWSkipped:   snap.Counters[ReplicationPrefix+"lww_skipped"],
+		ReadsLocal:   snap.Counters[ReplicationPrefix+"reads.local"],
+		ReadsRemote:  snap.Counters[ReplicationPrefix+"reads.remote"],
+		ReadsStale:   snap.Counters[ReplicationPrefix+"reads.stale"],
+		BacklogDepth: snap.Gauges[ReplicationPrefix+"backlog.depth"],
+	}
+	if lag, ok := snap.Histograms[ReplicationPrefix+"lag.epochs"]; ok && lag.Count > 0 {
+		repl.LagMeanEp = lag.Mean
+		repl.LagMaxEp = lag.Max
+	}
+	if repl != (ReplicationStats{}) {
+		rep.Replication = &repl
 	}
 	return rep
 }

@@ -157,6 +157,28 @@ func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
 		count("faults.retried", prev.Faults.Retried, next.Faults.Retried)
 		count("faults.retry_succeeded", prev.Faults.RetrySucceeded, next.Faults.RetrySucceeded)
 	}
+
+	// Cross-region replication (schema generation 7 on) compares
+	// informationally, like faults: publication volume and conflict skips
+	// follow the run's region configuration, but replication lag is compared
+	// as a latency so a delivery-scheduling change that ages records longer
+	// than the configured delay gets flagged.
+	if prev.Replication != nil && next.Replication != nil {
+		count := func(metric string, p, n uint64) {
+			delta := BenchDelta{Metric: metric, Prev: float64(p), Next: float64(n)}
+			if p > 0 {
+				delta.Ratio = float64(n) / float64(p)
+			}
+			d.Deltas = append(d.Deltas, delta)
+		}
+		count("replication.published", prev.Replication.Published, next.Replication.Published)
+		count("replication.applied", prev.Replication.Applied, next.Replication.Applied)
+		count("replication.lww_skipped", prev.Replication.LWWSkipped, next.Replication.LWWSkipped)
+		count("replication.reads_local", prev.Replication.ReadsLocal, next.Replication.ReadsLocal)
+		count("replication.reads_stale", prev.Replication.ReadsStale, next.Replication.ReadsStale)
+		latency("replication.lag_mean_epochs", prev.Replication.LagMeanEp, next.Replication.LagMeanEp)
+		latency("replication.lag_max_epochs", prev.Replication.LagMaxEp, next.Replication.LagMaxEp)
+	}
 	return d
 }
 

@@ -41,9 +41,11 @@ type Config struct {
 	// Shards is the metadata shard count (default 10).
 	Shards int
 	// GatewayShards is the number of independently locked balancer shards in
-	// the gateway proxy (default 1: the exact global least-loaded rule).
-	// Higher values enable power-of-two-choices placement between shard
-	// heaps, which scales placement throughput with cores.
+	// the gateway proxy. Values > 1 enable power-of-two-choices placement
+	// between shard heaps, which scales placement throughput with cores. 0
+	// derives the count from fleet size — one shard per 8 backend machines,
+	// minimum 1 (the paper's 6-machine default still yields the exact global
+	// least-loaded rule); an explicit value is authoritative.
 	GatewayShards int
 	// DeltaLogLimit bounds per-volume delta logs (0 → metadata default).
 	DeltaLogLimit int
@@ -80,6 +82,16 @@ type Config struct {
 	// SnapshotEvery is the per-shard journal record count between snapshots
 	// (0 → metadata.DefaultSnapshotEvery). Ignored unless Durability is set.
 	SnapshotEvery int
+	// Regions partitions the metadata shards into contiguous groups with
+	// asynchronous cross-region replication (≤ 1 disables; see
+	// metadata.Config.Regions).
+	Regions int
+	// ReplicationDelay is the cross-region replication delay in epochs
+	// (metadata.Config.ReplicationDelay). Ignored unless Regions > 1.
+	ReplicationDelay int
+	// EventualReads serves cross-region reads from the reader region's
+	// replica instead of the owner shard (metadata.Config.EventualReads).
+	EventualReads bool
 }
 
 // Cluster is a fully wired U1 back-end.
@@ -132,12 +144,15 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 	}
 
 	store, err := metadata.Open(metadata.Config{
-		Shards:        cfg.Shards,
-		DeltaLogLimit: cfg.DeltaLogLimit,
-		Metrics:       reg,
-		Durability:    cfg.Durability,
-		FsyncPolicy:   cfg.FsyncPolicy,
-		SnapshotEvery: cfg.SnapshotEvery,
+		Shards:           cfg.Shards,
+		DeltaLogLimit:    cfg.DeltaLogLimit,
+		Metrics:          reg,
+		Durability:       cfg.Durability,
+		FsyncPolicy:      cfg.FsyncPolicy,
+		SnapshotEvery:    cfg.SnapshotEvery,
+		Regions:          cfg.Regions,
+		ReplicationDelay: cfg.ReplicationDelay,
+		EventualReads:    cfg.EventualReads,
 	})
 	if err != nil {
 		return nil, err
@@ -154,7 +169,14 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 	})
 
 	if cfg.GatewayShards <= 0 {
-		cfg.GatewayShards = 1
+		// Derive from fleet size: one balancer shard per 8 backend machines.
+		// Small fleets (the 6-machine default included) keep the exact global
+		// least-loaded rule; larger fleets shard the balancer so placement
+		// scales instead of serializing on one heap lock.
+		cfg.GatewayShards = (len(cfg.Machines) + 7) / 8
+		if cfg.GatewayShards < 1 {
+			cfg.GatewayShards = 1
+		}
 	}
 
 	c := &Cluster{
@@ -174,6 +196,7 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		Broker:   broker,
 		Transfer: blob.DefaultTransferModel(),
 		Metrics:  reg,
+		Regions:  store,
 	}
 	for _, name := range cfg.Machines {
 		srv := apiserver.New(apiserver.Config{

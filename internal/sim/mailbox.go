@@ -1,0 +1,123 @@
+package sim
+
+import "time"
+
+// The deterministic cross-shard mailbox layer: during an epoch any shard may
+// post typed messages toward registered mailboxes; at the epoch barrier every
+// mailbox drains serially on the Run goroutine, in a canonical order that is
+// a pure function of the simulation — never of how shard goroutines
+// interleaved. Epoch-end hooks (AtEpochEnd) are mailbox consumers that simply
+// ignore their batch, so cadence work and message-driven work share one
+// barrier mechanism.
+//
+// The ordering contract:
+//
+//   - Mailboxes drain in registration order (ascending MailboxID).
+//   - Within one mailbox's batch, messages are ordered by (From, Seq):
+//     barrier-context posts (From == ControlSender) first, then each shard's
+//     posts in the order that shard issued them. Per-sender order is the
+//     sender's own program order, which is deterministic per shard; the
+//     merge never depends on goroutine interleaving.
+//   - Posts made during a drain (handlers posting with ControlSender) are
+//     delivered in a later round of the same barrier, so same-epoch
+//     message chains complete before the next epoch opens.
+//   - Every registered mailbox is invoked at least once per barrier, with an
+//     empty batch when nothing was posted — the tick AtEpochEnd hooks rely
+//     on. Rounds past the first invoke only mailboxes with pending messages.
+//
+// Race freedom needs no locks: shard i's events append only to outbox slot
+// i+1 (owned by shard i's goroutine for the epoch), the barrier reads the
+// slots after the WaitGroup join, and ControlSender posts use slot 0, touched
+// only on the Run goroutine. With Workers=1 everything is one goroutine.
+
+// ControlSender is the Message.From value of posts issued outside shard
+// events: from mailbox handlers during a barrier drain, or from the harness
+// between Run calls.
+const ControlSender = -1
+
+// MailboxID identifies a registered mailbox; Post targets one.
+type MailboxID int
+
+// Message is one typed cross-shard mailbox message.
+type Message struct {
+	// From is the posting shard, or ControlSender for barrier-context posts.
+	From int
+	// Seq is the per-sender sequence number, assigned by Post in issue order.
+	Seq uint64
+	// Kind tags the payload so one mailbox can multiplex message types.
+	Kind string
+	// Payload is the message body; producer and consumer agree on its type.
+	Payload any
+}
+
+// post is one queued (destination, message) pair in a sender's outbox.
+type post struct {
+	to  MailboxID
+	msg Message
+}
+
+// maxDrainRounds bounds handler-to-handler message chains within one barrier;
+// exceeding it means handlers post to each other without converging.
+const maxDrainRounds = 4096
+
+// RegisterMailbox registers a consumer drained at every epoch barrier and
+// returns its id. Registration must happen before Run; the returned id is
+// what Post targets. The batch slice is only valid for the duration of the
+// call — handlers must copy what they keep.
+func (s *ShardedEngine) RegisterMailbox(fn func(now time.Time, batch []Message)) MailboxID {
+	s.mailboxes = append(s.mailboxes, fn)
+	return MailboxID(len(s.mailboxes) - 1)
+}
+
+// Post enqueues a message for mailbox to, delivered at the next barrier (or a
+// later round of the current one when posted from a handler). from must be
+// the posting shard's own index when called from a shard event, or
+// ControlSender from barrier context — posting with another shard's index
+// races on that shard's outbox.
+func (s *ShardedEngine) Post(from int, to MailboxID, kind string, payload any) {
+	if int(to) < 0 || int(to) >= len(s.mailboxes) {
+		panic("sim: Post to unregistered mailbox")
+	}
+	slot := from + 1
+	s.seqs[slot]++
+	s.outbox[slot] = append(s.outbox[slot], post{
+		to:  to,
+		msg: Message{From: from, Seq: s.seqs[slot], Kind: kind, Payload: payload},
+	})
+}
+
+// drainMailboxes runs one barrier's mailbox drain: collect every outbox in
+// canonical sender order, deliver per-mailbox batches in mailbox id order,
+// and repeat for messages posted during the drain until a round collects
+// nothing. Runs on the Run goroutine with every shard quiescent.
+func (s *ShardedEngine) drainMailboxes(now time.Time) {
+	if len(s.mailboxes) == 0 {
+		return
+	}
+	batches := make([][]Message, len(s.mailboxes))
+	for round := 0; ; round++ {
+		posted := false
+		// Senders merge in slot order — ControlSender, then shard 0..W-1 —
+		// and each sender's posts are already in Seq order, so every batch
+		// comes out sorted by (From, Seq) without a sort call.
+		for slot := range s.outbox {
+			for _, p := range s.outbox[slot] {
+				batches[p.to] = append(batches[p.to], p.msg)
+				posted = true
+			}
+			s.outbox[slot] = s.outbox[slot][:0]
+		}
+		if round > 0 && !posted {
+			return
+		}
+		if round >= maxDrainRounds {
+			panic("sim: mailbox drain did not converge; handlers keep posting every round")
+		}
+		for id := range s.mailboxes {
+			if round == 0 || len(batches[id]) > 0 {
+				s.mailboxes[id](now, batches[id])
+			}
+			batches[id] = batches[id][:0]
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// mailboxRun drives a fixed message pattern through a sharded engine: every
+// shard posts two messages per hourly event toward one shared mailbox, and a
+// second mailbox re-posts the first hour's traffic from barrier context. It
+// returns the shared mailbox's full delivery transcript.
+func mailboxRun(t *testing.T, shards int) []string {
+	t.Helper()
+	se := NewSharded(t0, shards, time.Hour)
+	var transcript []string
+	main := se.RegisterMailbox(func(now time.Time, batch []Message) {
+		if len(batch) > 0 {
+			transcript = append(transcript, "batch")
+		}
+		for _, m := range batch {
+			transcript = append(transcript,
+				fmt.Sprintf("%s from=%d seq=%d kind=%s payload=%v",
+					now.Format("15:04"), m.From, m.Seq, m.Kind, m.Payload))
+		}
+	})
+	for i := 0; i < shards; i++ {
+		i := i
+		for h := 0; h < 4; h++ {
+			at := t0.Add(time.Duration(h)*time.Hour + 5*time.Minute)
+			se.Shard(i).At(at, func() {
+				se.Post(i, main, "tick", at.Hour())
+				se.Post(i, main, "tock", at.Hour())
+			})
+		}
+	}
+	// A control-context consumer: during each barrier it echoes one message
+	// back into the shared mailbox, which must arrive in a later round of the
+	// same barrier (the same `now`), not the next epoch.
+	se.RegisterMailbox(func(now time.Time, _ []Message) {
+		if now.Equal(t0.Add(time.Hour)) {
+			se.Post(ControlSender, main, "echo", "control")
+		}
+	})
+	se.Run()
+	return transcript
+}
+
+// TestMailboxCanonicalDrainOrder pins the ordering contract: within a
+// barrier, one mailbox's batch is sorted by (From, Seq) regardless of how
+// shard goroutines interleaved, and two runs of the same configuration are
+// identical transcripts.
+func TestMailboxCanonicalDrainOrder(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		a := mailboxRun(t, shards)
+		b := mailboxRun(t, shards)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shards=%d: two identical runs produced different transcripts:\n%v\n%v", shards, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("shards=%d: empty transcript", shards)
+		}
+		// Within one delivered batch the (From, Seq) pairs must be
+		// non-decreasing in From, and each sender's Seq must be strictly
+		// increasing across the whole run.
+		lastSeq := make(map[int]uint64)
+		lastFrom := -2
+		for _, line := range a {
+			if line == "batch" {
+				lastFrom = -2
+				continue
+			}
+			var ts, kind, payload string
+			var from int
+			var seq uint64
+			if _, err := fmt.Sscanf(line, "%s from=%d seq=%d kind=%s payload=%s",
+				&ts, &from, &seq, &kind, &payload); err != nil {
+				t.Fatalf("unparseable transcript line %q: %v", line, err)
+			}
+			if from < lastFrom {
+				t.Fatalf("shards=%d: batch delivers sender %d after sender %d:\n%v",
+					shards, from, lastFrom, a)
+			}
+			lastFrom = from
+			if seq <= lastSeq[from] {
+				t.Fatalf("shards=%d: sender %d seq %d not increasing past %d", shards, from, seq, lastSeq[from])
+			}
+			lastSeq[from] = seq
+		}
+	}
+}
+
+// TestMailboxControlPostSameBarrier pins the round semantics: a message
+// posted from a handler during the drain is delivered at the same barrier
+// time, before the next epoch opens.
+func TestMailboxControlPostSameBarrier(t *testing.T) {
+	transcript := mailboxRun(t, 2)
+	wantAt := t0.Add(time.Hour).Format("15:04")
+	found := false
+	for _, line := range transcript {
+		if line == "batch" {
+			continue
+		}
+		var ts, kind, payload string
+		var from int
+		var seq uint64
+		fmt.Sscanf(line, "%s from=%d seq=%d kind=%s payload=%s", &ts, &from, &seq, &kind, &payload) //nolint:errcheck
+		if kind == "echo" {
+			found = true
+			if from != ControlSender {
+				t.Errorf("echo message carries From=%d, want ControlSender", from)
+			}
+			if ts != wantAt {
+				t.Errorf("control post delivered at %s, want same barrier %s", ts, wantAt)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("control-context echo message never delivered")
+	}
+}
+
+// TestMailboxEmptyBatchTicksEveryBarrier pins that every registered mailbox
+// is invoked once per barrier even when nothing was posted — the behavior
+// AtEpochEnd cadence hooks are built on.
+func TestMailboxEmptyBatchTicksEveryBarrier(t *testing.T) {
+	se := NewSharded(t0, 2, time.Hour)
+	var ticks int
+	var batched int
+	se.RegisterMailbox(func(_ time.Time, batch []Message) {
+		ticks++
+		batched += len(batch)
+	})
+	for h := 0; h < 6; h++ {
+		se.Shard(h%2).At(t0.Add(time.Duration(h)*time.Hour+time.Minute), func() {})
+	}
+	se.Run()
+	if ticks != 6 {
+		t.Errorf("mailbox ticked %d times across 6 single-event epochs, want 6", ticks)
+	}
+	if batched != 0 {
+		t.Errorf("mailbox received %d messages, want 0 (nothing posted)", batched)
+	}
+}
+
+// TestMailboxWorkersOneMatchesSerialOrder pins that with one shard the drain
+// is exactly the serial stream: the single sender's posts arrive in program
+// order with consecutive sequence numbers.
+func TestMailboxWorkersOneMatchesSerialOrder(t *testing.T) {
+	se := NewSharded(t0, 1, time.Hour)
+	var got []uint64
+	box := se.RegisterMailbox(func(_ time.Time, batch []Message) {
+		for _, m := range batch {
+			got = append(got, m.Seq)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		se.Shard(0).At(t0.Add(time.Duration(i)*time.Minute), func() {
+			se.Post(0, box, "n", i)
+		})
+	}
+	se.Run()
+	want := []uint64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("serial drain sequence = %v, want %v", got, want)
+	}
+}

@@ -11,9 +11,11 @@ import (
 // ShardedEngine partitions a simulation across W per-shard single-threaded
 // Engines and advances them in bounded virtual-time epochs: every epoch, all
 // shards run concurrently up to a shared horizon, then a barrier closes the
-// epoch and registered boundary hooks (cluster-wide cadence work such as the
-// notification pump and the upload-job GC) run serially before the next
-// epoch opens.
+// epoch and the registered mailboxes drain serially (see mailbox.go) before
+// the next epoch opens. Cluster-wide cadence work — the notification pump,
+// the upload-job GC — and cross-shard message consumers (cross-region
+// metadata replication) are all mailbox handlers, drained in one canonical
+// order.
 //
 // Each shard keeps the plain Engine's (time, insertion-seq) determinism
 // internally, so a simulation whose entities are pinned to shards (stable
@@ -21,17 +23,25 @@ import (
 // reproducible for a fixed (seed, shard count) regardless of how the shard
 // goroutines interleave. Shard clocks are mutually skewed by at most one
 // epoch: an event on shard A observes cross-shard state from anywhere inside
-// the same epoch, which is the relaxation that buys parallelism.
+// the same epoch, which is the relaxation that buys parallelism. Mailbox
+// drain order is likewise interleaving-independent: per-sender outboxes
+// merge by (mailbox id, sender, sequence), never by arrival time.
 //
 // With one shard the engine degenerates to the serial case: the single shard
 // runs every epoch on the caller's goroutine in exactly the order a bare
-// Engine.Run would use.
+// Engine.Run would use, and an empty mailbox set makes the barrier free.
 type ShardedEngine struct {
 	start  time.Time
 	epoch  time.Duration
 	now    time.Time
 	shards []*Engine
-	hooks  []func(now time.Time)
+
+	// mailboxes are the barrier consumers in registration order; outbox slot
+	// 0 holds ControlSender posts, slot i+1 shard i's posts, and seqs are the
+	// matching per-sender sequence counters. See mailbox.go for the contract.
+	mailboxes []func(now time.Time, batch []Message)
+	outbox    [][]post
+	seqs      []uint64
 }
 
 // DefaultEpoch bounds shard clock skew; it matches the notification pump
@@ -52,6 +62,8 @@ func NewSharded(start time.Time, shards int, epoch time.Duration) *ShardedEngine
 	for i := range s.shards {
 		s.shards[i] = New(start)
 	}
+	s.outbox = make([][]post, shards+1)
+	s.seqs = make([]uint64, shards+1)
 	return s
 }
 
@@ -78,9 +90,11 @@ func (s *ShardedEngine) Now() time.Time { return s.now }
 // AtEpochEnd registers fn to run serially after every epoch barrier with the
 // epoch-end time. Hooks run on the Run goroutine while no shard executes, so
 // they may touch cross-shard state safely; they must not schedule events
-// (use shard 0's engine before Run for scheduled work).
+// (use shard 0's engine before Run for scheduled work). A hook is a mailbox
+// consumer that ignores its batch: it fires exactly once per barrier, on the
+// first drain round, in registration order with every other mailbox.
 func (s *ShardedEngine) AtEpochEnd(fn func(now time.Time)) {
-	s.hooks = append(s.hooks, fn)
+	s.RegisterMailbox(func(now time.Time, _ []Message) { fn(now) })
 }
 
 // Pending returns the number of queued events across all shards.
@@ -126,7 +140,7 @@ func (s *ShardedEngine) horizonFor(next time.Time) time.Time {
 
 // Run drains every shard in epoch lockstep and returns the number of events
 // run. Events scheduled during an epoch for times inside it run in the same
-// epoch; boundary hooks run between epochs.
+// epoch; mailboxes (including AtEpochEnd hooks) drain between epochs.
 func (s *ShardedEngine) Run() uint64 {
 	var total uint64
 	for {
@@ -151,8 +165,6 @@ func (s *ShardedEngine) Run() uint64 {
 			total += ran.Load()
 		}
 		s.now = horizon
-		for _, fn := range s.hooks {
-			fn(horizon)
-		}
+		s.drainMailboxes(horizon)
 	}
 }
