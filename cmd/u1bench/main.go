@@ -7,7 +7,7 @@
 // Usage:
 //
 //	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0]
-//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_7.json]
+//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_8.json]
 //	        [-durability DIR] [-fsync per-op|group|async] [-snapshot-every 0]
 //	        [-regions 0] [-repl-delay 0] [-eventual]
 package main
@@ -36,7 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
 	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
-	benchOut := flag.String("bench-out", "BENCH_7.json", "benchmark report path (empty to skip)")
+	benchOut := flag.String("bench-out", "BENCH_8.json", "benchmark report path (empty to skip)")
 	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
 	fsync := flag.String("fsync", "per-op", "journal fsync policy: per-op, group, or async")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between per-shard snapshots (0 = metadata default)")

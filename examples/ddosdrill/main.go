@@ -1,74 +1,67 @@
 // Ddosdrill: inject the paper's §5.4 attack pattern — one leaked credential,
 // thousands of leeching sessions — with the admission controller standing in
 // for the provider-side load shedding U1 operators applied by hand. The
-// drill shows the detector flagging the window, the controller refusing the
-// leeching data traffic with StatusOverloaded (clients back off, retry, give
-// up), the error-rate-by-op-class report the shedding leaves behind, and the
-// decay after the operator response (token revocation + content deletion).
+// drill is the flash-crowd entry of the scenario catalog (internal/scenario);
+// this wrapper runs it at drill scale and renders the outcome: the
+// controller refuses the leeching data traffic with StatusOverloaded
+// (clients back off, retry, give up), session management stays served, and
+// after the operator response (token revocation + content deletion) the
+// storm decays within the hour as the paper observed.
+//
+// Any violated scenario invariant exits non-zero.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
-	"time"
+	"os"
 
-	"u1/internal/analysis"
-	"u1/internal/client"
-	"u1/internal/metrics"
-	"u1/internal/server"
-	"u1/internal/trace"
-	"u1/internal/workload"
+	"u1/internal/faults"
+	"u1/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
-	const users, days = 400, 3
+	log.SetPrefix("ddosdrill: ")
 
-	cluster := server.NewCluster(server.Config{
-		Seed: 11, AuthFailureRate: 0.0276,
-		// Shed data ops once a process admits >10 of them in a minute
-		// (metadata at 2x, session management at 4x): calm traffic never
-		// gets near it, a leech hammering one file from the same process
-		// crosses it within seconds. This replaces the hand-rolled overload
-		// response — the pipeline's admit interceptor does the refusing.
-		AdmitWatermark: 10,
-	})
-	col := trace.NewCollector(trace.Config{
-		Start: workload.PaperStart, Days: days,
-		Shards: cluster.Store.NumShards(), Seed: 11,
-	})
-	cluster.AddAPIObserver(col.APIObserver())
-	cluster.AddRPCObserver(col.RPCObserver())
+	spec, err := scenario.Lookup("flash-crowd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Zero params: the entry's own defaults are the historical drill scale
+	// (400 users, 3 days, seed 11).
+	out, err := scenario.RunSpec(spec, scenario.Params{}, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.Result
 
-	totals := workload.New(workload.Config{
-		Users: users, Days: days, Seed: 11,
-		// Shed clients behave like real ones: bounded retry with backoff in
-		// virtual time before giving up.
-		Retry: client.Retry{Max: 2, Backoff: 2 * time.Second},
-		Attacks: []workload.Attack{
-			// A big one, like January 16: API activity two orders of
-			// magnitude above baseline for two hours.
-			{Day: 1, Hour: 13, Duration: 2 * time.Hour, APIFactor: 150, AuthFactor: 12},
-		},
-	}, cluster).Run()
-	fmt.Printf("simulated %d users for %d days; %d attack sessions ran\n\n",
-		users, days, totals.AttackSessions)
-
-	t := analysis.FromCollector(col, workload.PaperStart, days)
-	d := analysis.AnalyzeDDoS(t)
-	fmt.Println(d.Render())
-
-	fmt.Println(analysis.AnalyzeErrors(t).Render())
-
-	c := cluster.Metrics.Snapshot().Counters
+	fmt.Printf("simulated %d users for %d days; %d attack sessions ran\n",
+		out.Params.Users, out.Params.Days, res.Totals.AttackSessions)
 	fmt.Printf("admission control: shed %d requests; clients retried %d (%d recovered)\n",
-		c[metrics.FaultsPrefix+"shed"], c[metrics.FaultsPrefix+"retried"],
-		c[metrics.FaultsPrefix+"retry_succeeded"])
+		res.Counter("faults.shed"), res.Counter("faults.retried"),
+		res.Counter("faults.retry_succeeded"))
+	for _, class := range []faults.Class{faults.ClassData, faults.ClassMetadata, faults.ClassSession} {
+		ops, errs := res.ClassErrors(class)
+		fmt.Printf("  %-8s class: %6d ops, %6d refused/failed (%.1f%%)\n",
+			class, ops, errs, 100*res.ClassErrorRate(class))
+	}
+
+	stats := out.Stats()
+	if data, err := json.MarshalIndent(stats, "", "  "); err == nil {
+		fmt.Printf("\nscenario report:\n%s\n", data)
+	}
 
 	fmt.Println("\nthe admit interceptor sheds the leeching downloads with StatusOverloaded")
 	fmt.Println("(the automated version of §5.4's provider-side load shedding), so the")
 	fmt.Println("storm burns its retry budget instead of the back-end; at the window end")
 	fmt.Println("the generator revokes the fraudulent account and deletes the content,")
 	fmt.Println("and activity decays within the hour as the paper observed.")
-	fmt.Printf("\nauth service counters: %+v\n", cluster.Auth.Stats())
+
+	if out.Violation != "" {
+		log.Printf("INVARIANT VIOLATED: %s", out.Violation)
+		os.Exit(1)
+	}
+	fmt.Println("\nddosdrill PASS")
 }

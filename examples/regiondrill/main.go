@@ -1,7 +1,8 @@
-// Regiondrill: the cross-region replication gate. The drill boots a cluster
-// whose metadata shards are split into two regions with a nonzero
-// replication delay, drives real traffic through the full pipeline (the
-// workload's epoch barriers pump the replication mailboxes), then kills a
+// Regiondrill: the cross-region replication gate. The drill is the
+// regional-outage entry of the scenario catalog (internal/scenario): a
+// cluster whose metadata shards split into two regions with a nonzero
+// replication delay carries real traffic through the full pipeline (the
+// workload's epoch barriers pump the replication mailboxes), then loses a
 // region the way a datacenter outage would. The acceptance invariants are:
 // writes owned by the dead region are refused at the API edge while reads
 // keep being served from the surviving region's replicas; failover replays
@@ -15,179 +16,43 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"time"
 
-	"u1/internal/client"
-	"u1/internal/protocol"
-	"u1/internal/server"
-	"u1/internal/workload"
+	"u1/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("regiondrill: ")
 
-	users := flag.Int("users", 120, "user population size")
-	days := flag.Int("days", 2, "trace window in days")
-	seed := flag.Int64("seed", 7, "random seed")
+	users := flag.Int("users", 0, "user population size (0 = catalog default, 120)")
+	days := flag.Int("days", 0, "trace window in days (0 = catalog default, 2)")
+	seed := flag.Int64("seed", 0, "random seed (0 = catalog default, 7)")
 	flag.Parse()
 
-	cluster, err := server.OpenCluster(server.Config{
-		Seed: *seed, AuthFailureRate: 0.0276,
-		Regions:          2,
-		ReplicationDelay: 2,
-		EventualReads:    true,
-	})
+	spec, err := scenario.Lookup("regional-outage")
 	if err != nil {
-		log.Fatalf("opening regional cluster: %v", err)
+		log.Fatal(err)
 	}
-	st := cluster.Store
-	if st.Regions() != 2 {
-		log.Fatalf("store has %d regions, want 2", st.Regions())
+	out, err := scenario.RunSpec(spec,
+		scenario.Params{Users: *users, Days: *days, Seed: *seed}, log.Printf)
+	if err != nil {
+		log.Fatal(err)
 	}
+	res := out.Result
 
-	totals := workload.New(workload.Config{
-		Users: *users, Days: *days, Seed: *seed,
-		Attacks: []workload.Attack{},
-	}, cluster).Run()
-	c := cluster.Metrics.Snapshot().Counters
 	fmt.Printf("drove %d sessions (%d uploads, %d deletes) across 2 regions: %d records published, %d applied at peers\n",
-		totals.Sessions, totals.Uploads, totals.Deletes,
-		c["repl.published"], c["repl.applied"])
-	if c["repl.published"] == 0 {
-		log.Fatal("workload published no replication records — the mailbox pump is dead")
-	}
-
-	// Pick one user owned by each region for the outage legs.
-	var ownedBy [2]protocol.UserID
-	for u := protocol.UserID(1); u <= protocol.UserID(*users); u++ {
-		if ownedBy[st.RegionOfUser(u)] == 0 {
-			ownedBy[st.RegionOfUser(u)] = u
-		}
-	}
-	if ownedBy[0] == 0 || ownedBy[1] == 0 {
-		log.Fatalf("user population does not cover both regions: %v", ownedBy)
-	}
-	victim, survivor := ownedBy[1], ownedBy[0]
-
-	// An acknowledged write through the full client path right before the
-	// outage: with delay 2 and no further epoch barriers it stays in the
-	// publication outbox, unshipped — exactly the record failover must not
-	// lose.
-	now := workload.PaperStart.Add(time.Duration(*days) * 24 * time.Hour)
-	vol := uploadAs(cluster, victim, now, "pre-outage.txt")
-
-	// A cross-region grant so the survivor may read the victim's volume from
-	// its local replica during the outage. Drain so the grant itself — and
-	// everything before it — is replicated before the region dies.
-	share, err := st.CreateShare(victim, vol, survivor, "drill", true)
-	if err != nil {
-		log.Fatalf("pre-outage share: %v", err)
-	}
-	if _, err := st.AcceptShare(survivor, share.ID); err != nil {
-		log.Fatalf("accepting share: %v", err)
-	}
-	st.DrainReplication()
-
-	// Capture the dead region's owner fingerprints at the moment of death.
-	shards := st.NumShards()
-	before := make([]string, shards)
-	var region1Shards []int
-	for i := 0; i < shards; i++ {
-		before[i] = st.ShardFingerprint(i)
-		if st.RegionOf(i) == 1 {
-			region1Shards = append(region1Shards, i)
-		}
-	}
-
-	// One more acknowledged write AFTER the drain: it exists only in the
-	// owner shard and its outbox when the region dies.
-	if _, err := st.MakeFile(victim, vol, 0, "acked-last-instant.txt"); err != nil {
-		log.Fatalf("last-instant write: %v", err)
-	}
-	for _, i := range region1Shards {
-		before[i] = st.ShardFingerprint(i)
-	}
-
-	// --- Outage: region 1 dies ---
-
-	st.RegionDown(1)
-
-	if _, err := st.MakeFile(victim, vol, 0, "rejected.txt"); !errors.Is(err, protocol.ErrUnavailable) {
-		log.Fatalf("write into dead region returned %v, want ErrUnavailable", err)
-	}
-	if _, _, err := uploadErrAs(cluster, victim, now.Add(time.Minute), "rejected-api.txt"); err == nil {
-		log.Fatal("API edge accepted a write into the dead region")
-	} else if !errors.Is(err, protocol.ErrUnavailable) {
-		log.Fatalf("API-path write into dead region failed for the wrong reason: %v", err)
-	}
-	rc := cluster.Metrics.Snapshot().Counters
-	if rc["api.region.refused"] == 0 {
-		log.Fatal("API edge refused no writes — the region interceptor is dead")
-	}
-	if _, err := st.GetVolume(survivor, vol); err != nil {
-		log.Fatalf("read of dead region's volume from surviving replica: %v", err)
-	}
-	fmt.Printf("region 1 down: writes refused at the edge (%d at the interceptor), reads served from region 0 replicas\n",
-		rc["api.region.refused"])
-
-	// --- Failover: region 0 replays the entire backlog, outboxes included ---
-
-	st.FailoverRegion(0)
-	for _, i := range region1Shards {
-		if got := st.ReplicaFingerprint(0, i); got != before[i] {
-			log.Fatalf("shard %d: acknowledged writes lost in failover — replica fingerprint %s, want %s", i, got, before[i])
-		}
-	}
-	fmt.Printf("failover replayed the backlog: %d dead-region shards reproduced bit-for-bit at region 0 — zero acknowledged-write loss\n",
-		len(region1Shards))
-
-	// --- Recovery: region 1 rebuilds from its peer and serves again ---
-
-	st.RegionRecover(1, 0)
-	for _, i := range region1Shards {
-		if got := st.ShardFingerprint(i); got != before[i] {
-			log.Fatalf("shard %d: recovery diverged — fingerprint %s, want %s", i, got, before[i])
-		}
-	}
-	uploadAs(cluster, victim, now.Add(2*time.Minute), "post-recovery.txt")
-	fmt.Println("recovered region reproduced owner fingerprints and accepted a fresh upload through the full pipeline")
-
-	fc := cluster.Metrics.Snapshot().Counters
+		res.Totals.Sessions, res.Totals.Uploads, res.Totals.Deletes,
+		res.Counter("repl.published"), res.Counter("repl.applied"))
 	fmt.Printf("replication totals: %d published, %d applied, %d LWW-skipped, reads local/remote/stale %d/%d/%d\n",
-		fc["repl.published"], fc["repl.applied"], fc["repl.lww_skipped"],
-		fc["repl.reads.local"], fc["repl.reads.remote"], fc["repl.reads.stale"])
+		res.Counter("repl.published"), res.Counter("repl.applied"),
+		res.Counter("repl.lww_skipped"), res.Counter("repl.reads.local"),
+		res.Counter("repl.reads.remote"), res.Counter("repl.reads.stale"))
+
+	if out.Violation != "" {
+		log.Fatalf("INVARIANT VIOLATED: %s", out.Violation)
+	}
 	fmt.Println("regiondrill PASS")
-}
-
-// uploadAs pushes one upload for user through the full client → gateway →
-// pipeline path and returns the user's root volume. Any failure is fatal.
-func uploadAs(cluster *server.Cluster, user protocol.UserID, now time.Time, name string) protocol.VolumeID {
-	vol, _, err := uploadErrAs(cluster, user, now, name)
-	if err != nil {
-		log.Fatalf("upload %s as user %d: %v", name, user, err)
-	}
-	return vol
-}
-
-func uploadErrAs(cluster *server.Cluster, user protocol.UserID, now time.Time, name string) (protocol.VolumeID, protocol.NodeInfo, error) {
-	token, err := cluster.Auth.Issue(user)
-	if err != nil {
-		return 0, protocol.NodeInfo{}, fmt.Errorf("issuing token: %w", err)
-	}
-	cli := client.New(client.NewDirectTransport(cluster.LeastLoaded, func() time.Time { return now }))
-	if err := cli.Connect(token); err != nil {
-		return 0, protocol.NodeInfo{}, fmt.Errorf("connect: %w", err)
-	}
-	vol, ok := cli.RootVolume()
-	if !ok {
-		return 0, protocol.NodeInfo{}, fmt.Errorf("user %d has no root volume", user)
-	}
-	h := protocol.HashBytes([]byte("regiondrill " + name))
-	info, _, err := cli.UploadSized(vol, 0, name, h, 64<<10, 40<<10)
-	return vol, info, err
 }

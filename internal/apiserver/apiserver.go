@@ -115,6 +115,12 @@ type Deps struct {
 	// region interceptor: mutations owned by a down metadata region are
 	// refused with StatusUnavailable at the API edge.
 	Regions RegionRouter
+	// SSO, when non-nil, is the fleet-shared SSO-tier token bucket: the
+	// admit interceptor sheds Authenticate requests with StatusOverloaded
+	// when the bucket is dry, closing the gap that admission's op classes
+	// never covered login storms. Shared across the fleet because there is
+	// one SSO tier, not one per API machine.
+	SSO *faults.SSOAdmission
 }
 
 // Config parameterizes one API server machine.
@@ -146,6 +152,11 @@ type Config struct {
 	// FsyncPolicy is the journal sync policy whose deterministic cost the
 	// durability interceptor charges; ignored unless Durability is set.
 	FsyncPolicy wal.Policy
+	// SyncCostScale multiplies the fsync policy's modeled sync cost — the
+	// slow-disk degradation knob (a failing array syncs slower; the data
+	// stays durable, the request path pays more). 0 means 1 (unscaled).
+	// Ignored unless Durability is set.
+	SyncCostScale float64
 }
 
 // Session is one storage-protocol session: one desktop client connection
@@ -165,6 +176,15 @@ type Session struct {
 // nextSessionID allocates globally unique session ids across all API servers
 // in the process, as the production back-end did.
 var nextSessionID uint64
+
+// ResetSessionIDs rewinds the process-global session-id allocator to zero.
+// Session ids feed process placement (id mod procs), so two otherwise
+// identical serial runs in one process diverge wherever per-process state
+// (admission windows, proc op counts) matters unless the allocator is
+// rewound between them. Only harnesses that need reproducible back-to-back
+// runs — the scenario runner, determinism tests — may call it, and only
+// with no traffic in flight anywhere in the process.
+func ResetSessionIDs() { atomic.StoreUint64(&nextSessionID, 0) }
 
 // Server is one API server machine.
 type Server struct {
@@ -211,10 +231,12 @@ type Server struct {
 	machineOps     *metrics.Counter
 
 	// Fault accounting for the bench report's faults section: injected and
-	// shed requests (server decisions), retried requests and retry successes
-	// (client attempts observed server-side via Request.Attempt).
+	// shed requests (server decisions), SSO-bucket sheds, retried requests
+	// and retry successes (client attempts observed server-side via
+	// Request.Attempt).
 	faultInjected     *metrics.Counter
 	faultShed         *metrics.Counter
+	faultSSOShed      *metrics.Counter
 	faultRetried      *metrics.Counter
 	faultRetrySuccess *metrics.Counter
 
@@ -265,6 +287,7 @@ func New(cfg Config, deps Deps) *Server {
 
 		faultInjected:     deps.Metrics.Counter(metrics.FaultsPrefix + "injected"),
 		faultShed:         deps.Metrics.Counter(metrics.FaultsPrefix + "shed"),
+		faultSSOShed:      deps.Metrics.Counter(metrics.FaultsPrefix + "sso_shed"),
 		faultRetried:      deps.Metrics.Counter(metrics.FaultsPrefix + "retried"),
 		faultRetrySuccess: deps.Metrics.Counter(metrics.FaultsPrefix + "retry_succeeded"),
 
@@ -272,6 +295,9 @@ func New(cfg Config, deps Deps) *Server {
 	}
 	if cfg.Durability {
 		s.syncCost = cfg.FsyncPolicy.SyncCost()
+		if cfg.SyncCostScale > 0 {
+			s.syncCost = time.Duration(float64(s.syncCost) * cfg.SyncCostScale)
+		}
 	}
 	if cfg.AdmitWatermark > 0 {
 		s.admission = faults.NewAdmission(cfg.Procs, cfg.AdmitWatermark)

@@ -332,10 +332,19 @@ func (s *Server) durabilityInterceptor(next Handler) Handler {
 // automated. It runs after the session guard (unauthenticated requests are
 // rejected, not shed) and before cancel and the handler, so refused work
 // charges no RPC cost. Authenticate dispatched through OpenSession has no
-// process yet and is never shed; admission defends the data path, while auth
-// storms are the SSO tier's problem (revocation, §7.3 injection).
+// process yet, so the per-process classes never cover it; the SSO-tier
+// token bucket (Deps.SSO) does instead — a login storm drains the
+// fleet-shared bucket and the excess is shed here with StatusOverloaded
+// before the authentication back-end is touched.
 func (s *Server) admitInterceptor(next Handler) Handler {
 	return func(c *OpContext) (*protocol.Response, error) {
+		if c.Req.Op == protocol.OpAuthenticate && s.deps.SSO != nil {
+			if !s.deps.SSO.Admit(c.Now) {
+				c.preempted = true
+				s.faultSSOShed.Inc()
+				return nil, fmt.Errorf("%w: sso admission", protocol.ErrOverloaded)
+			}
+		}
 		if s.admission != nil && c.hasProc {
 			if !s.admission.Admit(c.Event.Proc, c.Req.Op, c.Now) {
 				c.preempted = true

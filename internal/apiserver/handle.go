@@ -436,7 +436,13 @@ func (s *Server) opAuthenticate(c *OpContext) (*protocol.Response, error) {
 
 	var user protocol.UserID
 	var err error
-	if s.deps.Auth.InjectedFailure(c.Req.Token, c.Now) {
+	if s.deps.Auth.Overloaded(c.Req.Token, c.Now) {
+		// SSO back-end past capacity (§5.4): the request registered its load
+		// and lost the goodput-collapse draw. Charged like a failed auth
+		// round trip — the tier did work, it just didn't finish any.
+		err = fmt.Errorf("%w: sso back-end overloaded", protocol.ErrAuthFailed)
+		s.deps.RPC.ObserveAuth(0, c.Now, err, &c.Cost)
+	} else if s.deps.Auth.InjectedFailure(c.Req.Token, c.Now) {
 		// Transient SSO failure (§7.3): injected per authentication request,
 		// as a pure function of (seed, token, now), so the failure stream is
 		// identical no matter which server's cache the session hit — the

@@ -27,6 +27,12 @@ type Config struct {
 	FailureRate float64
 	// Seed makes failure injection reproducible. Zero uses a fixed default.
 	Seed int64
+	// Capacity models the SSO back-end's sustained authentication throughput
+	// in requests per second, measured over a trailing CapacityWindow
+	// (fractional values fit the simulator's compressed request rates). When
+	// the windowed arrival rate exceeds it, goodput collapses and requests
+	// fail — the §5.4 back-end overload. Zero disables the model.
+	Capacity float64
 }
 
 // Counters tracks the request accounting of §7.3 / Fig. 15.
@@ -35,6 +41,9 @@ type Counters struct {
 	Validated uint64
 	Failed    uint64
 	Revoked   uint64
+	// Overloaded counts requests failed by the capacity model (a subset of
+	// Failed).
+	Overloaded uint64
 }
 
 // Service is the token service. It models the deployment of §3.4.1 (one
@@ -48,6 +57,10 @@ type Service struct {
 	mu       sync.Mutex
 	tokens   map[string]protocol.UserID
 	counters Counters
+	// load holds the arrival times of the trailing CapacityWindow when the
+	// capacity model is on; every request that reaches the tier registers
+	// here, whether or not it succeeds.
+	load []time.Time
 }
 
 // New creates the service.
@@ -114,6 +127,86 @@ func (s *Service) InjectedFailure(token string, now time.Time) bool {
 	s.counters.Failed++
 	s.mu.Unlock()
 	return true
+}
+
+// CapacityWindow is the trailing window over which the capacity model
+// measures the authentication arrival rate. It is deliberately much longer
+// than faults.AdmissionWindow: at the simulator's compressed scale login
+// traffic is sparse (whole sessions per hour, not per second), so a
+// minute-sized window would see at most a request or two and the rate
+// estimate would be all noise.
+const CapacityWindow = time.Hour
+
+// overloadSalt isolates the capacity model's failure draws from the §7.3
+// transient-injection stream keyed on the same (seed, user, now).
+const overloadSalt = 0x5e55_10ad
+
+// overloadDraw derives the overload-failure uniform for one request as a
+// pure function of (Seed, user, now) — the same keying discipline as
+// failureDraw, salted so the two streams never alias.
+func (s *Service) overloadDraw(user protocol.UserID, now time.Time) float64 {
+	z := dist.Splitmix64(dist.Splitmix64(uint64(s.seed)+overloadSalt) +
+		uint64(user)*dist.Splitmix64Gamma + uint64(now.UnixNano()))
+	return float64(z>>11) / (1 << 53)
+}
+
+// Overloaded reports whether the authentication request presenting token at
+// virtual time now fails because the SSO back-end is past capacity — the
+// §5.4 overload shape, where a login storm does not just slow the tier down
+// but collapses its goodput for everyone, legitimate users included. Every
+// call registers the request in the trailing load window first (the request
+// reached the tier whether or not it fails, and before any cache could
+// absorb it — the paper's token caches exist precisely because this tier is
+// the fragile one). When the windowed arrival rate L exceeds Capacity C the
+// request fails with probability 1 - (C/L)², so surviving goodput is C²/L:
+// the further past capacity the storm pushes, the less real work the tier
+// completes. The failure decision itself is a pure function of (Seed, user,
+// now); the live load window makes the overall model serial-driver
+// deterministic, like admission control. Unknown tokens register load but
+// draw no failure (validation rejects them anyway).
+func (s *Service) Overloaded(token string, now time.Time) bool {
+	if s.cfg.Capacity <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	user, known := s.tokens[token]
+	cutoff := now.Add(-CapacityWindow)
+	live := s.load[:0]
+	for _, t := range s.load {
+		if t.After(cutoff) {
+			live = append(live, t)
+		}
+	}
+	s.load = append(live, now)
+	rate := float64(len(s.load)) / CapacityWindow.Seconds()
+	s.mu.Unlock()
+	if !known || rate <= s.cfg.Capacity {
+		return false
+	}
+	ratio := s.cfg.Capacity / rate
+	if s.overloadDraw(user, now) >= 1-ratio*ratio {
+		return false
+	}
+	s.mu.Lock()
+	s.counters.Overloaded++
+	s.counters.Failed++
+	s.mu.Unlock()
+	return true
+}
+
+// Load reports the windowed authentication arrival rate (requests/sec) at
+// time now (diagnostics and tests).
+func (s *Service) Load(now time.Time) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := now.Add(-CapacityWindow)
+	var n int
+	for _, t := range s.load {
+		if t.After(cutoff) {
+			n++
+		}
+	}
+	return float64(n) / CapacityWindow.Seconds()
 }
 
 // Validate resolves a token to its user (auth.get_user_id_from_token).

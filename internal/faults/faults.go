@@ -24,6 +24,11 @@
 // StatusOverloaded, so a storm cannot starve session teardown or keepalives
 // while the bulk traffic is refused. Shedding depends on live per-process
 // load, so unlike Plan it is only reproducible under a serial driver.
+//
+// SSOAdmission covers the one class Admission leaves alone: Authenticate.
+// It is a fleet-shared token bucket in front of the SSO tier, draining one
+// token per login attempt, so a §5.4 credential storm is shed with
+// StatusOverloaded before it can collapse the authentication back-end.
 package faults
 
 import (
@@ -48,6 +53,35 @@ type Plan struct {
 	// Rules maps each targeted operation to its injection policy; absent
 	// operations never fail.
 	Rules map[protocol.Op]Rule
+	// Phases scope alternative rule sets to virtual-time windows — the
+	// building block of scenario fault schedules (outage windows, degraded
+	// intervals, recovery ramps). While now falls inside a phase, that
+	// phase's Rules replace the base Rules entirely; outside every phase the
+	// base Rules apply. Phases are consulted in order, first match wins.
+	Phases []Phase
+}
+
+// Phase is one virtual-time window [From, Until) with its own rule set.
+// Unlike the base Rules, a phase may target OpAuthenticate — a full outage
+// takes the login path down with everything else — so scenario schedules can
+// express the §5.4 shapes Uniform deliberately exempts.
+type Phase struct {
+	From  time.Time
+	Until time.Time
+	Rules map[protocol.Op]Rule
+}
+
+// rulesAt resolves the rule set in force at virtual time now: the first
+// matching phase's rules, else the base rules. Still a pure function of the
+// plan and now, so phased decisions stay reproducible.
+func (p *Plan) rulesAt(now time.Time) map[protocol.Op]Rule {
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if !now.Before(ph.From) && now.Before(ph.Until) {
+			return ph.Rules
+		}
+	}
+	return p.Rules
 }
 
 // Uniform builds a plan failing every operation except session lifecycle
@@ -69,7 +103,20 @@ func Uniform(seed int64, rate float64) *Plan {
 }
 
 // Enabled reports whether the plan can inject anything.
-func (p *Plan) Enabled() bool { return p != nil && len(p.Rules) > 0 }
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	if len(p.Rules) > 0 {
+		return true
+	}
+	for i := range p.Phases {
+		if len(p.Phases[i].Rules) > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // draw derives the injection uniform for one request as a pure function of
 // (Seed, user, op, now). Chaining two splitmix rounds keeps the op index —
@@ -87,7 +134,7 @@ func (p *Plan) Decide(user protocol.UserID, op protocol.Op, now time.Time) (prot
 	if p == nil {
 		return protocol.StatusOK, false
 	}
-	rule, ok := p.Rules[op]
+	rule, ok := p.rulesAt(now)[op]
 	if !ok || rule.Fraction <= 0 || p.draw(user, op, now) >= rule.Fraction {
 		return protocol.StatusOK, false
 	}

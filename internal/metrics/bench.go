@@ -23,9 +23,10 @@ const (
 	// ShardPrefix + <i> + {".reads"|".writes"} — per-shard op counters;
 	// + {".read_hold.seconds"|".write_hold.seconds"} — lock hold times.
 	ShardPrefix = "meta.shard."
-	// FaultsPrefix + {"injected"|"shed"|"retried"|"retry_succeeded"} — the
-	// apiserver's fault-injection / admission-control / client-retry
-	// counters, folded into the report's faults section.
+	// FaultsPrefix + {"injected"|"shed"|"sso_shed"|"retried"|
+	// "retry_succeeded"} — the apiserver's fault-injection /
+	// admission-control / SSO-bucket / client-retry counters, folded into
+	// the report's faults section.
 	FaultsPrefix = "faults."
 	// WALPrefix + {"appends"|"snapshots"|"replayed"|"torn_bytes_dropped"|
 	// "errors"|"journaled"} — the durable metadata tier's journal activity.
@@ -99,12 +100,14 @@ type DurabilityStats struct {
 }
 
 // FaultStats is the report's fault-machinery section: how many requests the
-// fault plan injected failures into, how many admission control shed, and
+// fault plan injected failures into, how many admission control shed (the
+// per-op-class controller and the SSO-tier token bucket separately), and
 // how much retried client traffic arrived (and recovered). Present only in
 // runs where any of the counters fired.
 type FaultStats struct {
 	Injected       uint64 `json:"injected"`
 	Shed           uint64 `json:"shed"`
+	SSOShed        uint64 `json:"sso_shed,omitempty"`
 	Retried        uint64 `json:"retried"`
 	RetrySucceeded uint64 `json:"retry_succeeded"`
 }
@@ -124,6 +127,59 @@ type ReplicationStats struct {
 	BacklogDepth int64   `json:"backlog_depth"`
 	LagMeanEp    float64 `json:"lag_mean_epochs"`
 	LagMaxEp     float64 `json:"lag_max_epochs"`
+}
+
+// ScenarioClassErrors is one op class's error accounting in a scenario
+// report: how many operations the class saw and how many errored.
+type ScenarioClassErrors struct {
+	Ops    uint64  `json:"ops"`
+	Errors uint64  `json:"errors"`
+	Rate   float64 `json:"rate"`
+}
+
+// ScenarioStats is one named chaos scenario's report: the workload scale it
+// ran at, the fault machinery's counters, error rates by shedding class, the
+// per-op latency profile (serial runs only — sampled RPC durations are not
+// reproducible under a parallel driver, so the runner omits them rather
+// than publish numbers that vary run to run), replication counters when
+// regions were on, the invariant verdict, and — for scenarios that run an
+// unmitigated comparison leg — the baseline's stats nested inside.
+type ScenarioStats struct {
+	Description string `json:"description,omitempty"`
+	Users       int    `json:"users"`
+	Days        int    `json:"days"`
+	Seed        int64  `json:"seed"`
+	Workers     int    `json:"workers"`
+
+	Sessions    uint64 `json:"sessions"`
+	FailedAuths uint64 `json:"failed_auths"`
+	TotalOps    uint64 `json:"total_ops"`
+	TotalErrors uint64 `json:"total_errors"`
+
+	Injected       uint64 `json:"injected"`
+	Shed           uint64 `json:"shed"`
+	SSOShed        uint64 `json:"sso_shed"`
+	Retried        uint64 `json:"retried"`
+	RetrySucceeded uint64 `json:"retry_succeeded"`
+	// AuthOverloaded counts requests the SSO back-end's capacity model
+	// failed (goodput collapse under storm load).
+	AuthOverloaded uint64 `json:"auth_overloaded"`
+
+	// ErrorRates keys faults.Class names (data/metadata/session).
+	ErrorRates map[string]ScenarioClassErrors `json:"error_rates"`
+	// Ops carries per-op latency percentiles; present only for Workers=1
+	// runs (see the type comment). OpsPerSec is zero: scenario reports carry
+	// no wall-clock, for determinism.
+	Ops map[string]OpStats `json:"ops,omitempty"`
+	// WALJournaled counts mutations charged a journal sync (durable runs).
+	WALJournaled uint64 `json:"wal_journaled,omitempty"`
+	// Replication carries the cross-region counters (multi-region runs).
+	Replication *ReplicationStats `json:"replication,omitempty"`
+
+	// Invariant is "pass" or the violated invariant's description.
+	Invariant string `json:"invariant"`
+	// Baseline is the unmitigated comparison leg, when the scenario has one.
+	Baseline *ScenarioStats `json:"baseline,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark result (BENCH_*.json): the
@@ -162,6 +218,9 @@ type BenchReport struct {
 	// Replication summarizes the cross-region replication tier; omitted for
 	// single-region runs.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Scenarios carries per-scenario chaos reports keyed by catalog name
+	// (written by cmd/u1chaos); omitted by the plain bench producers.
+	Scenarios map[string]ScenarioStats `json:"scenarios,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }
@@ -221,6 +280,7 @@ func BuildBenchReport(snap Snapshot, wallSeconds float64, users, days int) Bench
 	f := FaultStats{
 		Injected:       snap.Counters[FaultsPrefix+"injected"],
 		Shed:           snap.Counters[FaultsPrefix+"shed"],
+		SSOShed:        snap.Counters[FaultsPrefix+"sso_shed"],
 		Retried:        snap.Counters[FaultsPrefix+"retried"],
 		RetrySucceeded: snap.Counters[FaultsPrefix+"retry_succeeded"],
 	}

@@ -154,8 +154,39 @@ func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
 		}
 		count("faults.injected", prev.Faults.Injected, next.Faults.Injected)
 		count("faults.shed", prev.Faults.Shed, next.Faults.Shed)
+		count("faults.sso_shed", prev.Faults.SSOShed, next.Faults.SSOShed)
 		count("faults.retried", prev.Faults.Retried, next.Faults.Retried)
 		count("faults.retry_succeeded", prev.Faults.RetrySucceeded, next.Faults.RetrySucceeded)
+	}
+
+	// Chaos scenarios (schema generation 8 on) compare informationally when
+	// both reports ran the same catalog entries: the counters follow each
+	// scenario's configuration, so deltas are visibility aids, never perf
+	// regressions — but a scenario whose totals drift between PRs is worth a
+	// look.
+	if len(prev.Scenarios) > 0 && len(next.Scenarios) > 0 {
+		count := func(metric string, p, n uint64) {
+			delta := BenchDelta{Metric: metric, Prev: float64(p), Next: float64(n)}
+			if p > 0 {
+				delta.Ratio = float64(n) / float64(p)
+			}
+			d.Deltas = append(d.Deltas, delta)
+		}
+		names := make([]string, 0, len(prev.Scenarios))
+		for name := range prev.Scenarios {
+			if _, ok := next.Scenarios[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ps, ns := prev.Scenarios[name], next.Scenarios[name]
+			count("scenario."+name+".total_ops", ps.TotalOps, ns.TotalOps)
+			count("scenario."+name+".total_errors", ps.TotalErrors, ns.TotalErrors)
+			count("scenario."+name+".injected", ps.Injected, ns.Injected)
+			count("scenario."+name+".shed", ps.Shed, ns.Shed)
+			count("scenario."+name+".sso_shed", ps.SSOShed, ns.SSOShed)
+		}
 	}
 
 	// Cross-region replication (schema generation 7 on) compares

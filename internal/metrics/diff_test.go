@@ -102,8 +102,8 @@ func TestCompareFaultsSection(t *testing.T) {
 			t.Fatal("faults section compared when a side lacks one")
 		}
 	}
-	prev.Faults = &FaultStats{Injected: 100, Shed: 10, Retried: 80, RetrySucceeded: 60}
-	next.Faults = &FaultStats{Injected: 500, Shed: 90, Retried: 400, RetrySucceeded: 310}
+	prev.Faults = &FaultStats{Injected: 100, Shed: 10, Retried: 80, RetrySucceeded: 60, SSOShed: 7}
+	next.Faults = &FaultStats{Injected: 500, Shed: 90, Retried: 400, RetrySucceeded: 310, SSOShed: 21}
 	d = CompareBenchReports(prev, next, 0.25)
 	found := map[string]BenchDelta{}
 	for _, x := range d.Deltas {
@@ -111,8 +111,11 @@ func TestCompareFaultsSection(t *testing.T) {
 			found[x.Metric] = x
 		}
 	}
-	if len(found) != 4 {
-		t.Fatalf("faults deltas = %d, want 4 (%v)", len(found), found)
+	if len(found) != 5 {
+		t.Fatalf("faults deltas = %d, want 5 (%v)", len(found), found)
+	}
+	if x := found["faults.sso_shed"]; x.Prev != 7 || x.Next != 21 || x.Ratio != 3 {
+		t.Errorf("faults.sso_shed delta = %+v", x)
 	}
 	if x := found["faults.injected"]; x.Prev != 100 || x.Next != 500 || x.Ratio != 5 {
 		t.Errorf("faults.injected delta = %+v", x)
@@ -121,6 +124,46 @@ func TestCompareFaultsSection(t *testing.T) {
 		if x.Regressed {
 			t.Errorf("%s flagged as a regression; fault counts are informational", name)
 		}
+	}
+}
+
+// TestCompareScenariosSection: chaos scenario counters compare informationally
+// for the catalog entries both reports ran; entries only one side ran are
+// skipped (the matrix changed, there is nothing to compare against).
+func TestCompareScenariosSection(t *testing.T) {
+	prev, next := diffFixture()
+	d := CompareBenchReports(prev, next, 0.25)
+	for _, x := range d.Deltas {
+		if strings.HasPrefix(x.Metric, "scenario.") {
+			t.Fatal("scenarios section compared when a side lacks one")
+		}
+	}
+	prev.Scenarios = map[string]ScenarioStats{
+		"sso-storm": {TotalOps: 1000, TotalErrors: 50, SSOShed: 40},
+		"prev-only": {TotalOps: 10},
+	}
+	next.Scenarios = map[string]ScenarioStats{
+		"sso-storm": {TotalOps: 2000, TotalErrors: 90, SSOShed: 120},
+		"next-only": {TotalOps: 20},
+	}
+	d = CompareBenchReports(prev, next, 0.25)
+	found := map[string]BenchDelta{}
+	for _, x := range d.Deltas {
+		if strings.HasPrefix(x.Metric, "scenario.") {
+			found[x.Metric] = x
+			if x.Regressed {
+				t.Errorf("%s flagged as a regression; scenario counts are informational", x.Metric)
+			}
+			if !strings.HasPrefix(x.Metric, "scenario.sso-storm.") {
+				t.Errorf("unshared scenario compared: %s", x.Metric)
+			}
+		}
+	}
+	if x := found["scenario.sso-storm.sso_shed"]; x.Prev != 40 || x.Next != 120 || x.Ratio != 3 {
+		t.Errorf("scenario.sso-storm.sso_shed delta = %+v", x)
+	}
+	if x := found["scenario.sso-storm.total_ops"]; x.Prev != 1000 || x.Next != 2000 {
+		t.Errorf("scenario.sso-storm.total_ops delta = %+v", x)
 	}
 }
 

@@ -60,6 +60,21 @@ type Config struct {
 	// the per-process admitted-requests-per-minute watermark past which data
 	// operations are refused with StatusOverloaded (0 disables).
 	AdmitWatermark int
+	// SSOAdmitRate enables the SSO-tier token bucket: one fleet-shared
+	// bucket (there is one SSO tier, not one per machine) admitting
+	// Authenticate requests at this sustained rate in requests per second of
+	// virtual time — fractional rates fit the simulator's compressed scale —
+	// and shedding the excess with StatusOverloaded at the API edge.
+	// 0 disables (Authenticate is never shed, the pre-scenario behavior).
+	SSOAdmitRate float64
+	// SSOAdmitBurst is the bucket capacity (how deep a login burst is
+	// absorbed before shedding starts). 0 with a nonzero rate defaults to 1.
+	SSOAdmitBurst float64
+	// AuthCapacity models SSO back-end overload: the sustained
+	// authentication throughput in requests/sec (over auth.CapacityWindow)
+	// past which the tier's goodput collapses and requests fail for everyone
+	// (see auth.Config.Capacity). 0 disables.
+	AuthCapacity float64
 	// InlineData makes transfers carry real bytes (TCP mode); off for
 	// simulation.
 	InlineData bool
@@ -82,6 +97,10 @@ type Config struct {
 	// SnapshotEvery is the per-shard journal record count between snapshots
 	// (0 → metadata.DefaultSnapshotEvery). Ignored unless Durability is set.
 	SnapshotEvery int
+	// SyncCostScale multiplies the fsync policy's modeled sync cost on every
+	// API server — the slow-disk degradation knob (0 means 1, unscaled).
+	// Ignored unless Durability is set.
+	SyncCostScale float64
 	// Regions partitions the metadata shards into contiguous groups with
 	// asynchronous cross-region replication (≤ 1 disables; see
 	// metadata.Config.Regions).
@@ -158,7 +177,11 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	blobStore := blob.New(blob.Config{KeepData: cfg.InlineData, Metrics: reg})
-	authSvc := auth.New(auth.Config{FailureRate: cfg.AuthFailureRate, Seed: seed})
+	authSvc := auth.New(auth.Config{
+		FailureRate: cfg.AuthFailureRate,
+		Seed:        seed,
+		Capacity:    cfg.AuthCapacity,
+	})
 	broker := notify.NewBroker()
 	broker.Instrument(reg)
 	rpcTier := rpc.NewServer(store, rpc.Config{
@@ -197,6 +220,7 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		Transfer: blob.DefaultTransferModel(),
 		Metrics:  reg,
 		Regions:  store,
+		SSO:      faults.NewSSOAdmission(cfg.SSOAdmitRate, cfg.SSOAdmitBurst),
 	}
 	for _, name := range cfg.Machines {
 		srv := apiserver.New(apiserver.Config{
@@ -207,6 +231,7 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 			AdmitWatermark: cfg.AdmitWatermark,
 			Durability:     cfg.Durability != "",
 			FsyncPolicy:    cfg.FsyncPolicy,
+			SyncCostScale:  cfg.SyncCostScale,
 		}, deps)
 		c.Servers = append(c.Servers, srv)
 		c.byName[name] = srv

@@ -88,12 +88,25 @@ func (g *Generator) scheduleAttack(a Attack) {
 	// Attacks are cluster-scoped, not per-user: every attack event runs on
 	// shard 0, so the whole storm keeps one deterministic event order.
 	eng := g.shard0().eng
-	eng.At(start, func() {
+	seedAttempts := 0
+	var seedContent func()
+	seedContent = func() {
 		// The attacker seeds the content: a ~100 KB payload every attack
-		// client downloads repeatedly.
+		// client downloads repeatedly. Seeding retries transient failures
+		// (the injected auth failure rate applies to the attacker too) on a
+		// one-minute backoff: a storm must not silently vanish on one bad
+		// draw. The success path is untouched — retries consume nothing from
+		// the attack's RNG stream, so first-try seeds reproduce exactly the
+		// schedule they always did.
+		retry := func() {
+			if seedAttempts++; seedAttempts < 5 {
+				eng.After(time.Minute, seedContent)
+			}
+		}
 		tr := client.NewDirectTransport(g.c.LeastLoaded, eng.Clock())
 		seeder := client.New(tr)
 		if err := seeder.Connect(token); err != nil {
+			retry()
 			return
 		}
 		root, ok := seeder.RootVolume()
@@ -104,10 +117,13 @@ func (g *Generator) scheduleAttack(a Attack) {
 		node, _, err := seeder.UploadSized(root, 0, "installer.zip", h, 100<<10, 100<<10)
 		seeder.Disconnect() //nolint:errcheck
 		if err != nil {
+			retry()
 			return
 		}
 
-		// Session storm: Poisson arrivals over the window.
+		// Session storm: Poisson arrivals over the window, measured from the
+		// attack's nominal start; arrivals a late seed has already passed run
+		// at the seeding instant (the engine never moves backwards).
 		for i := 0; i < sessions; i++ {
 			offset := time.Duration(rng.Float64() * float64(a.Duration))
 			eng.At(start.Add(offset), func() {
@@ -138,7 +154,8 @@ func (g *Generator) scheduleAttack(a Attack) {
 			cleanup.Disconnect()          //nolint:errcheck
 			g.c.Auth.RevokeUser(attackerID)
 		})
-	})
+	}
+	eng.At(start, seedContent)
 }
 
 // attackSession is one leeching client: authenticate with the shared

@@ -45,6 +45,13 @@ type Config struct {
 	// (the behavior injected faults exercise). The zero value disables
 	// retries, preserving the failure-free trace bit-for-bit.
 	Retry client.Retry
+	// ReconnectBackoff, when nonzero, makes a failed connection retry after
+	// this backoff (plus a small per-user deterministic jitter) instead of
+	// waiting for a fresh arrival draw — real desktop-client behavior, and
+	// the knob that turns a server-side outage window into a post-recovery
+	// thundering herd of reconnects. Zero preserves the original
+	// reschedule-on-next-arrival behavior bit-for-bit.
+	ReconnectBackoff time.Duration
 }
 
 // PaperStart is the first day of the original trace (January 11, 2014).
@@ -511,8 +518,18 @@ func (g *Generator) startSession(u *user) {
 	}
 	if err := u.cli.Connect(u.token); err != nil {
 		// Auth failures happen (§7.3: 2.76%); the desktop client retries on
-		// its next scheduled connection.
+		// its next scheduled connection — or, with ReconnectBackoff set, on a
+		// short jittered backoff, so an outage ends in a reconnect herd. The
+		// jitter draws from the user's own rng inside the user's own event,
+		// which keeps the stream deterministic at any worker count.
 		u.sh.totals.FailedAuths++
+		if b := g.cfg.ReconnectBackoff; b > 0 {
+			at := eng.Now().Add(b + time.Duration(u.rng.Float64()*float64(b)/4))
+			if !at.After(g.end) {
+				eng.At(at, func() { g.startSession(u) })
+			}
+			return
+		}
 		g.scheduleNextSession(u, eng.Now())
 		return
 	}
