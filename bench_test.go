@@ -384,20 +384,20 @@ func benchGeneration(b *testing.B, workers int) {
 func BenchmarkTraceGeneration(b *testing.B) { benchGeneration(b, 0) }
 
 // BenchmarkTraceGenerationSerial pins Workers=1: the bit-for-bit serial
-// stream, the baseline the generator section of BENCH_8.json records.
+// stream, the baseline the generator section of BENCH_9.json records.
 func BenchmarkTraceGenerationSerial(b *testing.B) { benchGeneration(b, 1) }
 
 // BenchmarkObservability snapshots the live metrics registry of the shared
 // bench cluster, derives the machine-readable benchmark report (ops/sec,
 // per-op p50/p95/p99 latency, shard balance, contended hot-path throughput,
 // durability pricing, cross-region replication) and writes it to
-// BENCH_8.json (override with
+// BENCH_9.json (override with
 // U1_BENCH_OUT, empty disables) — the artifact the CI bench-smoke job
 // archives as the repo's perf trajectory and diffs against the committed
 // previous report.
 func BenchmarkObservability(b *testing.B) {
 	benchTrace(b)
-	out := "BENCH_8.json"
+	out := "BENCH_9.json"
 	if v, ok := os.LookupEnv("U1_BENCH_OUT"); ok {
 		out = v
 	}

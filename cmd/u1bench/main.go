@@ -7,7 +7,7 @@
 // Usage:
 //
 //	u1bench [-users 2000] [-days 30] [-seed 1] [-workers 0]
-//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_8.json]
+//	        [-fault-rate 0] [-admit-watermark 0] [-bench-out BENCH_9.json]
 //	        [-durability DIR] [-fsync per-op|group|async] [-snapshot-every 0]
 //	        [-regions 0] [-repl-delay 0] [-eventual]
 package main
@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"u1/internal/analysis"
@@ -36,14 +38,43 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
 	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
-	benchOut := flag.String("bench-out", "BENCH_8.json", "benchmark report path (empty to skip)")
+	benchOut := flag.String("bench-out", "BENCH_9.json", "benchmark report path (empty to skip)")
 	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
 	fsync := flag.String("fsync", "per-op", "journal fsync policy: per-op, group, or async")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between per-shard snapshots (0 = metadata default)")
 	regions := flag.Int("regions", 0, "metadata regions with asynchronous cross-region replication (<= 1 disables)")
 	replDelay := flag.Int("repl-delay", 0, "cross-region replication delay in epochs")
 	eventual := flag.Bool("eventual", false, "serve cross-region reads from the local replica instead of the owner shard")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close() //nolint:errcheck
+		}()
+	}
 
 	policy, err := wal.ParsePolicy(*fsync)
 	if err != nil {

@@ -37,6 +37,7 @@ func main() {
 	noAttacks := flag.Bool("no-attacks", false, "disable the three DDoS events")
 	workers := flag.Int("workers", 0, "parallel generator shards (0 = GOMAXPROCS, 1 = serial stream)")
 	keepRPC := flag.Bool("rpc", false, "also write rpc span records (large)")
+	stream := flag.Bool("stream", false, "flush logfiles at every epoch barrier instead of accumulating records in memory (same bytes, bounded footprint)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic per-op injected failure fraction (0 disables)")
 	admitWatermark := flag.Int("admit-watermark", 0, "per-proc admitted-requests-per-minute watermark for load shedding (0 disables)")
 	durability := flag.String("durability", "", "directory for the metadata store's per-shard WAL + snapshots (empty = in-memory)")
@@ -85,6 +86,16 @@ func main() {
 		cfg.Retry = client.Retry{Max: 2, Backoff: 2 * time.Second}
 	}
 	g := workload.New(cfg, cluster)
+	if *stream {
+		if err := col.StartStream(*out); err != nil {
+			log.Fatalf("opening stream: %v", err)
+		}
+		g.Engine().AtEpochEnd(func(time.Time) {
+			if err := col.Flush(); err != nil {
+				log.Fatalf("streaming trace: %v", err)
+			}
+		})
+	}
 	totals := g.Run()
 
 	fmt.Printf("generated %d records in %v (%d events on %d shards)\n", col.Len(),
@@ -116,7 +127,11 @@ func main() {
 			c[metrics.WALPrefix+"snapshots"])
 	}
 
-	if err := col.WriteCSV(*out); err != nil {
+	if *stream {
+		if err := col.CloseStream(); err != nil {
+			log.Fatalf("closing stream: %v", err)
+		}
+	} else if err := col.WriteCSV(*out); err != nil {
 		log.Fatalf("writing trace: %v", err)
 	}
 	entries, err := os.ReadDir(*out)

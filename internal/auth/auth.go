@@ -54,8 +54,12 @@ type Service struct {
 	cfg  Config
 	seed int64
 
-	mu       sync.Mutex
-	tokens   map[string]protocol.UserID
+	mu sync.Mutex
+	// tokens is keyed by the decoded token: the service mints 32-char hex
+	// strings, so storing the 16 raw bytes instead of a heap string per token
+	// saves ~50 bytes per user at million-user populations. Tokens that are
+	// not well-formed hex never came from Issue and resolve as unknown.
+	tokens   map[[tokenRawLen]byte]protocol.UserID
 	counters Counters
 	// load holds the arrival times of the trailing CapacityWindow when the
 	// capacity model is on; every request that reaches the tier registers
@@ -72,24 +76,65 @@ func New(cfg Config) *Service {
 	return &Service{
 		cfg:    cfg,
 		seed:   seed,
-		tokens: make(map[string]protocol.UserID),
+		tokens: make(map[[tokenRawLen]byte]protocol.UserID),
 	}
+}
+
+// tokenRawLen is the raw entropy per token; tokens are its hex encoding.
+const tokenRawLen = 16
+
+// decodeToken recovers the raw bytes of a service-minted token. Issue only
+// emits lowercase hex, so rejecting anything else keeps the mapping
+// injective: no two distinct token strings share a decoded key.
+func decodeToken(token string) (raw [tokenRawLen]byte, ok bool) {
+	if len(token) != 2*tokenRawLen {
+		return raw, false
+	}
+	for i := 0; i < len(token); i += 2 {
+		hi, ok1 := hexNibble(token[i])
+		lo, ok2 := hexNibble(token[i+1])
+		if !ok1 || !ok2 {
+			return raw, false
+		}
+		raw[i/2] = hi<<4 | lo
+	}
+	return raw, true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
 }
 
 // Issue trades credentials for a new token tied to user. Credential checking
 // itself is out of scope (the trace never carries passwords); the token is
 // cryptographically random as in OAuth.
 func (s *Service) Issue(user protocol.UserID) (string, error) {
-	var raw [16]byte
+	var raw [tokenRawLen]byte
 	if _, err := rand.Read(raw[:]); err != nil {
 		return "", fmt.Errorf("auth: generating token: %w", err)
 	}
 	token := hex.EncodeToString(raw[:])
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tokens[token] = user
+	s.tokens[raw] = user
 	s.counters.Issued++
 	return token, nil
+}
+
+// lookup resolves a token string to its user without counting.
+func (s *Service) lookup(token string) (protocol.UserID, bool) {
+	raw, ok := decodeToken(token)
+	if !ok {
+		return 0, false
+	}
+	user, ok := s.tokens[raw]
+	return user, ok
 }
 
 // failureDraw derives the transient-failure uniform for one authentication
@@ -118,7 +163,7 @@ func (s *Service) InjectedFailure(token string, now time.Time) bool {
 		return false
 	}
 	s.mu.Lock()
-	user, ok := s.tokens[token]
+	user, ok := s.lookup(token)
 	s.mu.Unlock()
 	if !ok || s.failureDraw(user, now) >= s.cfg.FailureRate {
 		return false
@@ -169,7 +214,7 @@ func (s *Service) Overloaded(token string, now time.Time) bool {
 		return false
 	}
 	s.mu.Lock()
-	user, known := s.tokens[token]
+	user, known := s.lookup(token)
 	cutoff := now.Add(-CapacityWindow)
 	live := s.load[:0]
 	for _, t := range s.load {
@@ -216,7 +261,7 @@ func (s *Service) Load(now time.Time) float64 {
 func (s *Service) Validate(token string) (protocol.UserID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	user, ok := s.tokens[token]
+	user, ok := s.lookup(token)
 	if !ok {
 		s.counters.Failed++
 		return 0, fmt.Errorf("%w: unknown token", protocol.ErrAuthFailed)
@@ -230,7 +275,9 @@ func (s *Service) Validate(token string) (protocol.UserID, error) {
 func (s *Service) Revoke(token string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.tokens, token)
+	if raw, ok := decodeToken(token); ok {
+		delete(s.tokens, raw)
+	}
 	s.counters.Revoked++
 }
 
@@ -264,29 +311,41 @@ type Cache struct {
 	ttl time.Duration
 
 	mu      sync.Mutex
-	entries map[string]cacheEntry
+	entries map[[tokenRawLen]byte]cacheEntry
+	puts    uint64
 	hits    uint64
 	misses  uint64
 }
 
+// cacheEntry is 16 bytes: the expiry is kept as Unix nanoseconds rather
+// than a 24-byte time.Time, and entries are keyed by the decoded token
+// rather than its 32-byte hex string — at a million users the cache holds
+// one entry per recently-validated token, so entry size is real memory.
+// Non-canonical tokens (which the service never issues) are simply not
+// cached: a miss revalidates, which is always correct for a cache.
 type cacheEntry struct {
 	user    protocol.UserID
-	expires time.Time
+	expires int64 // Unix nanoseconds
 }
 
 // NewCache creates a cache with the given TTL.
 func NewCache(ttl time.Duration) *Cache {
-	return &Cache{ttl: ttl, entries: make(map[string]cacheEntry)}
+	return &Cache{ttl: ttl, entries: make(map[[tokenRawLen]byte]cacheEntry)}
 }
 
 // Get returns the cached user for token if fresh at time now.
 func (c *Cache) Get(token string, now time.Time) (protocol.UserID, bool) {
+	raw, canonical := decodeToken(token)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[token]
-	if !ok || now.After(e.expires) {
+	if !canonical {
+		c.misses++
+		return 0, false
+	}
+	e, ok := c.entries[raw]
+	if !ok || now.UnixNano() > e.expires {
 		if ok {
-			delete(c.entries, token)
+			delete(c.entries, raw)
 		}
 		c.misses++
 		return 0, false
@@ -295,18 +354,37 @@ func (c *Cache) Get(token string, now time.Time) (protocol.UserID, bool) {
 	return e.user, true
 }
 
-// Put caches a validated token.
+// Put caches a validated token. Every few thousand puts it sweeps out
+// expired entries: Get only evicts the token it was asked about, so without
+// the sweep entries of users who never reconnect would accumulate forever —
+// real memory once populations reach millions. The sweep is invisible to
+// Get, which treats expired and absent entries identically.
 func (c *Cache) Put(token string, user protocol.UserID, now time.Time) {
+	raw, canonical := decodeToken(token)
+	if !canonical {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[token] = cacheEntry{user: user, expires: now.Add(c.ttl)}
+	c.puts++
+	if c.puts%4096 == 0 {
+		cutoff := now.UnixNano()
+		for tok, e := range c.entries {
+			if cutoff > e.expires {
+				delete(c.entries, tok)
+			}
+		}
+	}
+	c.entries[raw] = cacheEntry{user: user, expires: now.Add(c.ttl).UnixNano()}
 }
 
 // Drop removes a token from the cache (on revocation).
 func (c *Cache) Drop(token string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.entries, token)
+	if raw, ok := decodeToken(token); ok {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.entries, raw)
+	}
 }
 
 // HitRate returns the cache hit fraction observed so far (0 when unused).

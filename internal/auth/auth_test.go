@@ -92,7 +92,8 @@ func TestFailureInjectionDeterministic(t *testing.T) {
 	s1 := New(Config{FailureRate: 0.0276, Seed: 5})
 	s2 := New(Config{FailureRate: 0.0276, Seed: 5})
 	tok, _ := s1.Issue(1)
-	s2.tokens[tok] = 1 // mirror the token table
+	raw, _ := decodeToken(tok)
+	s2.tokens[raw] = 1 // mirror the token table
 	start := time.Unix(1390000000, 0)
 	var diverged, failed int
 	for i := 0; i < 5000; i++ {
@@ -115,26 +116,35 @@ func TestFailureInjectionDeterministic(t *testing.T) {
 }
 
 func TestCache(t *testing.T) {
+	// The cache keys by decoded token, so use canonical 32-hex tokens as
+	// the service issues them.
+	tok := "00112233445566778899aabbccddeeff"
+	dtok := "ffeeddccbbaa99887766554433221100"
 	c := NewCache(time.Hour)
 	now := time.Unix(1390000000, 0)
-	if _, ok := c.Get("t", now); ok {
+	if _, ok := c.Get(tok, now); ok {
 		t.Error("empty cache should miss")
 	}
-	c.Put("t", 9, now)
-	if user, ok := c.Get("t", now.Add(time.Minute)); !ok || user != 9 {
+	c.Put(tok, 9, now)
+	if user, ok := c.Get(tok, now.Add(time.Minute)); !ok || user != 9 {
 		t.Errorf("cache hit = %v, %v", user, ok)
 	}
 	// Expired entries miss and are evicted.
-	if _, ok := c.Get("t", now.Add(2*time.Hour)); ok {
+	if _, ok := c.Get(tok, now.Add(2*time.Hour)); ok {
 		t.Error("expired entry should miss")
 	}
-	if _, ok := c.Get("t", now.Add(time.Minute)); ok {
+	if _, ok := c.Get(tok, now.Add(time.Minute)); ok {
 		t.Error("expired entry should have been evicted")
 	}
-	c.Put("d", 1, now)
-	c.Drop("d")
-	if _, ok := c.Get("d", now); ok {
+	c.Put(dtok, 1, now)
+	c.Drop(dtok)
+	if _, ok := c.Get(dtok, now); ok {
 		t.Error("dropped entry should miss")
+	}
+	// Tokens the service could never have issued are not cached at all.
+	c.Put("not-a-token", 2, now)
+	if _, ok := c.Get("not-a-token", now); ok {
+		t.Error("non-canonical token should not be cached")
 	}
 	if hr := c.HitRate(); hr <= 0 || hr >= 1 {
 		t.Errorf("hit rate = %v", hr)

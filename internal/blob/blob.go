@@ -71,16 +71,87 @@ type Store struct {
 	cfg Config
 	m   blobMetrics
 
-	mu       sync.RWMutex
-	objects  map[string]*object
-	uploads  map[string]*multipartUpload
-	nextID   uint64
-	counters Counters
+	mu sync.RWMutex
+	// Content-addressed keys are 40-char SHA-1 hex strings; storing them
+	// decoded keeps 20 bytes per object instead of a 56-byte heap string, and
+	// at million-user populations the key bytes would otherwise rival the
+	// objects themselves. Sizes live in their own map so the common metered
+	// mode pays 8 bytes per object, not a 32-byte object struct; hashData
+	// only fills in KeepData mode. Non-canonical keys (tests, ad-hoc callers)
+	// fall back to the string map; a key lives in exactly one of the layouts.
+	hashSizes map[[20]byte]uint64
+	hashData  map[[20]byte][]byte
+	objects   map[string]object
+	uploads   map[string]*multipartUpload
+	nextID    uint64
+	counters  Counters
 }
 
 type object struct {
 	size uint64
 	data []byte // nil unless KeepData
+}
+
+// decodeKey returns the decoded form of a canonical (lowercase) SHA-1 hex
+// key. Uppercase hex is rejected so that distinct string keys can never
+// collide after decoding.
+func decodeKey(key string) (h [20]byte, ok bool) {
+	if len(key) != 40 {
+		return h, false
+	}
+	for i := 0; i < 40; i += 2 {
+		hi, ok1 := hexNibble(key[i])
+		lo, ok2 := hexNibble(key[i+1])
+		if !ok1 || !ok2 {
+			return h, false
+		}
+		h[i/2] = hi<<4 | lo
+	}
+	return h, true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+func (s *Store) loadObject(key string) (object, bool) {
+	if h, ok := decodeKey(key); ok {
+		size, ok := s.hashSizes[h]
+		if !ok {
+			return object{}, false
+		}
+		return object{size: size, data: s.hashData[h]}, true
+	}
+	obj, ok := s.objects[key]
+	return obj, ok
+}
+
+func (s *Store) storeObject(key string, obj object) {
+	if h, ok := decodeKey(key); ok {
+		s.hashSizes[h] = obj.size
+		if obj.data != nil {
+			s.hashData[h] = obj.data
+		} else {
+			delete(s.hashData, h) // overwrite may flip a kept object to size-only
+		}
+		return
+	}
+	s.objects[key] = obj
+}
+
+func (s *Store) removeObject(key string) {
+	if h, ok := decodeKey(key); ok {
+		delete(s.hashSizes, h)
+		delete(s.hashData, h)
+		return
+	}
+	delete(s.objects, key)
 }
 
 type multipartUpload struct {
@@ -105,8 +176,10 @@ func New(cfg Config) *Store {
 			getSeconds:  cfg.Metrics.Histogram("blob.get.seconds"),
 			objectsHeld: cfg.Metrics.Gauge("blob.objects.held"),
 		},
-		objects: make(map[string]*object),
-		uploads: make(map[string]*multipartUpload),
+		hashSizes: make(map[[20]byte]uint64),
+		hashData:  make(map[[20]byte][]byte),
+		objects:   make(map[string]object),
+		uploads:   make(map[string]*multipartUpload),
 	}
 }
 
@@ -139,17 +212,17 @@ func (s *Store) recordPut(size uint64, start time.Time) {
 }
 
 func (s *Store) putLocked(key string, size uint64, data []byte) {
-	if old, ok := s.objects[key]; ok {
+	if old, ok := s.loadObject(key); ok {
 		// Content-addressed keys make overwrites idempotent; adjust held
 		// bytes in case sizes differ (they cannot for honest SHA-1 keys).
 		s.counters.BytesHeld -= old.size
 		s.counters.Objects--
 	}
-	obj := &object{size: size}
+	obj := object{size: size}
 	if s.cfg.KeepData && data != nil {
 		obj.data = append([]byte(nil), data...)
 	}
-	s.objects[key] = obj
+	s.storeObject(key, obj)
 	s.counters.Puts++
 	s.counters.BytesIn += size
 	s.counters.BytesHeld += size
@@ -162,7 +235,7 @@ func (s *Store) putLocked(key string, size uint64, data []byte) {
 func (s *Store) GetObject(key string) ([]byte, error) {
 	start := time.Now()
 	s.mu.Lock()
-	obj, ok := s.objects[key]
+	obj, ok := s.loadObject(key)
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
@@ -185,7 +258,7 @@ func (s *Store) GetObject(key string) ([]byte, error) {
 func (s *Store) HeadObject(key string) (uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	obj, ok := s.objects[key]
+	obj, ok := s.loadObject(key)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
 	}
@@ -197,10 +270,10 @@ func (s *Store) HeadObject(key string) (uint64, error) {
 func (s *Store) DeleteObject(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if obj, ok := s.objects[key]; ok {
+	if obj, ok := s.loadObject(key); ok {
 		s.counters.BytesHeld -= obj.size
 		s.counters.Objects--
-		delete(s.objects, key)
+		s.removeObject(key)
 		s.m.objectsHeld.Set(int64(s.counters.Objects))
 	}
 	s.counters.Deletes++
@@ -262,15 +335,15 @@ func (s *Store) CompleteMultipartUpload(id string) error {
 	}
 	delete(s.uploads, id)
 	// BytesIn was already counted per part; commit without recounting.
-	if old, exists := s.objects[up.key]; exists {
+	if old, exists := s.loadObject(up.key); exists {
 		s.counters.BytesHeld -= old.size
 		s.counters.Objects--
 	}
-	obj := &object{size: up.size}
+	obj := object{size: up.size}
 	if s.cfg.KeepData {
 		obj.data = up.data
 	}
-	s.objects[up.key] = obj
+	s.storeObject(up.key, obj)
 	s.counters.BytesHeld += up.size
 	s.counters.Objects++
 	s.counters.MultipartCompleted++

@@ -10,9 +10,20 @@ import (
 	"math/rand"
 )
 
+// Rand is the random stream the samplers draw from: the subset of
+// *math/rand.Rand they use. *rand.Rand satisfies it; the workload
+// generator's low-memory per-user streams provide a compact implementation.
+type Rand interface {
+	Float64() float64
+	NormFloat64() float64
+	// Intn is unused by the samplers themselves but part of the stream
+	// contract so generator code can pick and sample through one value.
+	Intn(n int) int
+}
+
 // Sampler draws one float64 variate from a distribution.
 type Sampler interface {
-	Sample(r *rand.Rand) float64
+	Sample(r Rand) float64
 }
 
 // Lognormal is a lognormal distribution parameterized by the underlying
@@ -23,7 +34,7 @@ type Lognormal struct {
 }
 
 // Sample implements Sampler.
-func (l Lognormal) Sample(r *rand.Rand) float64 {
+func (l Lognormal) Sample(r Rand) float64 {
 	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
 }
 
@@ -48,7 +59,7 @@ type Pareto struct {
 }
 
 // Sample implements Sampler via inverse-CDF.
-func (p Pareto) Sample(r *rand.Rand) float64 {
+func (p Pareto) Sample(r Rand) float64 {
 	u := r.Float64()
 	for u == 0 {
 		u = r.Float64()
@@ -65,7 +76,7 @@ type BoundedPareto struct {
 }
 
 // Sample implements Sampler.
-func (p BoundedPareto) Sample(r *rand.Rand) float64 {
+func (p BoundedPareto) Sample(r Rand) float64 {
 	if p.Cap <= p.Xm {
 		return p.Xm
 	}
@@ -86,7 +97,7 @@ type ParetoTailed struct {
 }
 
 // Sample implements Sampler.
-func (p ParetoTailed) Sample(r *rand.Rand) float64 {
+func (p ParetoTailed) Sample(r Rand) float64 {
 	if r.Float64() < p.TailP {
 		return p.Tail.Sample(r)
 	}
@@ -99,7 +110,7 @@ type Uniform struct {
 }
 
 // Sample implements Sampler.
-func (u Uniform) Sample(r *rand.Rand) float64 {
+func (u Uniform) Sample(r Rand) float64 {
 	return u.Lo + (u.Hi-u.Lo)*r.Float64()
 }
 
@@ -123,7 +134,7 @@ func NewCategorical(weights ...float64) *Categorical {
 }
 
 // Draw samples an index in [0, len(weights)).
-func (c *Categorical) Draw(r *rand.Rand) int {
+func (c *Categorical) Draw(r Rand) int {
 	if len(c.cum) == 0 {
 		return 0
 	}

@@ -151,6 +151,53 @@ func run(ops, workers int, op func()) metrics.HotPathStats {
 	return st
 }
 
+// MeasurePlacement quantifies power-of-two-choices placement quality as the
+// balancer's shard count grows: for each count it places sessions leases
+// across the standard fleet (never releasing, so load accumulates as in a
+// connection storm) and reports the most-loaded backend against the even
+// split. One shard is the exact least-loaded rule — max/mean pinned at ~1 —
+// and each doubling trades a little balance for less lock contention; the
+// two-choices bound keeps the ratio near 1 instead of the O(log n / log log
+// n) drift of single random choice. sessions ≤ 0 picks a default; shard
+// counts < 1 are skipped.
+func MeasurePlacement(sessions int, shardCounts []int) []metrics.PlacementStats {
+	if sessions <= 0 {
+		sessions = 1 << 16
+	}
+	fleet := ShardedBalancerFleet()
+	out := make([]metrics.PlacementStats, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		if shards < 1 {
+			continue
+		}
+		bal := gateway.NewShardedBalancer(shards, fleet...)
+		loads := make(map[string]uint64, len(fleet))
+		for i := 0; i < sessions; i++ {
+			lease, err := bal.Acquire()
+			if err != nil {
+				break
+			}
+			loads[lease.Backend]++
+		}
+		st := metrics.PlacementStats{
+			Shards:   shards,
+			Backends: len(fleet),
+			Sessions: sessions,
+			MeanLoad: float64(sessions) / float64(len(fleet)),
+		}
+		for _, n := range loads {
+			if n > st.MaxLoad {
+				st.MaxLoad = n
+			}
+		}
+		if st.MeanLoad > 0 {
+			st.MaxOverMean = float64(st.MaxLoad) / st.MeanLoad
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // MeasureGenerator times end-to-end trace generation — population build,
 // per-shard event loops, the full back-end under every event — once with
 // Workers=1 (the serial stream) and once with one shard per core, each

@@ -397,8 +397,8 @@ func snapshotState(sh *shard) *shardSnapshot {
 	}
 	sort.Slice(snap.Volumes, func(i, j int) bool { return snap.Volumes[i].Info.ID < snap.Volumes[j].Info.ID })
 
-	for _, nr := range sh.nodes {
-		snap.Nodes = append(snap.Nodes, nr.info)
+	for id, nr := range sh.nodes {
+		snap.Nodes = append(snap.Nodes, nr.info(id))
 	}
 	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].ID < snap.Nodes[j].ID })
 
@@ -416,34 +416,25 @@ func restoreSnapshot(sh *shard, snap *shardSnapshot) {
 		vr := &volumeRow{
 			info:           vs.Info,
 			root:           vs.Root,
-			nodes:          make(map[protocol.NodeID]struct{}),
 			droppedThrough: vs.DroppedThrough,
-			grants:         make(map[protocol.UserID]protocol.ShareID),
 		}
 		for _, e := range vs.Log {
 			vr.log = append(vr.log, logEntry{gen: e.Gen, node: e.Node, deleted: e.Deleted})
 		}
 		for _, g := range vs.Grants {
-			vr.grants[g.To] = g.Share
+			vr.addGrant(g.To, g.Share)
 		}
 		sh.volumes[vs.Info.ID] = vr
 	}
 	for _, info := range snap.Nodes {
-		nr := &nodeRow{info: info}
-		if info.Kind == protocol.KindDir {
-			nr.children = make(map[string]protocol.NodeID)
-		}
-		sh.nodes[info.ID] = nr
-		if vr, ok := sh.volumes[info.Volume]; ok {
-			vr.nodes[info.ID] = struct{}{}
-		}
+		sh.nodes[info.ID] = newNodeRow(info)
 	}
 	for _, info := range snap.Nodes {
 		if info.Parent == 0 {
 			continue // volume roots hang off volumeRow.root
 		}
-		if pr, ok := sh.nodes[info.Parent]; ok && pr.children != nil {
-			pr.children[info.Name] = info.ID
+		if pr, ok := sh.nodes[info.Parent]; ok && pr.kind == protocol.KindDir {
+			pr.addChild(info.Name, info.ID)
 		}
 	}
 	for i := range snap.Shares {
@@ -452,24 +443,21 @@ func restoreSnapshot(sh *shard, snap *shardSnapshot) {
 	}
 	for _, us := range snap.Users {
 		u := &userRow{
-			id:        us.ID,
-			root:      us.Root,
-			volumes:   make(map[protocol.VolumeID]struct{}),
-			sharesIn:  make(map[protocol.ShareID]struct{}),
-			sharesOut: make(map[protocol.ShareID]struct{}),
+			id:   us.ID,
+			root: us.Root,
 		}
 		for _, id := range us.SharesIn {
-			u.sharesIn[id] = struct{}{}
+			u.addShareIn(id)
 		}
 		for _, id := range us.SharesOut {
-			u.sharesOut[id] = struct{}{}
+			u.addShareOut(id)
 		}
 		sh.users[us.ID] = u
 	}
-	// Owned-volume sets derive from volume ownership.
+	// Owned-volume lists derive from volume ownership.
 	for id, vr := range sh.volumes {
 		if u, ok := sh.users[vr.info.Owner]; ok {
-			u.volumes[id] = struct{}{}
+			u.addVolume(id)
 		}
 	}
 }
@@ -484,17 +472,15 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 	case recCreateUser:
 		applyNewVolume(sh, rec.Volume, rec.Root)
 		sh.users[rec.User] = &userRow{
-			id:        rec.User,
-			root:      rec.Volume.ID,
-			volumes:   map[protocol.VolumeID]struct{}{rec.Volume.ID: {}},
-			sharesIn:  make(map[protocol.ShareID]struct{}),
-			sharesOut: make(map[protocol.ShareID]struct{}),
+			id:      rec.User,
+			root:    rec.Volume.ID,
+			volumes: []protocol.VolumeID{rec.Volume.ID},
 		}
 
 	case recCreateUDF:
 		applyNewVolume(sh, rec.Volume, rec.Root)
 		if u, ok := sh.users[rec.User]; ok {
-			u.volumes[rec.Volume.ID] = struct{}{}
+			u.addVolume(rec.Volume.ID)
 		}
 
 	case recMakeNode:
@@ -502,14 +488,9 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 		if !ok {
 			return
 		}
-		nr := &nodeRow{info: rec.Node}
-		if rec.Node.Kind == protocol.KindDir {
-			nr.children = make(map[string]protocol.NodeID)
-		}
-		sh.nodes[rec.Node.ID] = nr
-		vr.nodes[rec.Node.ID] = struct{}{}
-		if pr, ok := sh.nodes[rec.Node.Parent]; ok && pr.children != nil {
-			pr.children[rec.Node.Name] = rec.Node.ID
+		sh.nodes[rec.Node.ID] = newNodeRow(rec.Node)
+		if pr, ok := sh.nodes[rec.Node.Parent]; ok && pr.kind == protocol.KindDir {
+			pr.addChild(rec.Node.Name, rec.Node.ID)
 		}
 		vr.info.Generation = rec.Node.Generation
 		appendLogReplay(sh, vr, rec.Node, false)
@@ -524,14 +505,14 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 			return
 		}
 		if rec.Kind == recMove {
-			if old, ok := sh.nodes[nr.info.Parent]; ok && old.children != nil {
-				delete(old.children, nr.info.Name)
+			if old, ok := sh.nodes[nr.parent]; ok && old.children != nil {
+				delete(old.children, nr.name)
 			}
-			if pr, ok := sh.nodes[rec.Node.Parent]; ok && pr.children != nil {
-				pr.children[rec.Node.Name] = rec.Node.ID
+			if pr, ok := sh.nodes[rec.Node.Parent]; ok && pr.kind == protocol.KindDir {
+				pr.addChild(rec.Node.Name, rec.Node.ID)
 			}
 		}
-		nr.info = rec.Node
+		nr.setInfo(rec.Node)
 		vr.info.Generation = rec.Node.Generation
 		appendLogReplay(sh, vr, rec.Node, false)
 
@@ -549,7 +530,6 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 		vr.info.Generation = rec.Gen
 		for _, n := range rec.Removed {
 			delete(sh.nodes, n.ID)
-			delete(vr.nodes, n.ID)
 			appendLogReplay(sh, vr, n, true)
 		}
 
@@ -558,12 +538,12 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 		if !ok {
 			return
 		}
-		for nodeID := range vr.nodes {
+		for _, nodeID := range volumeNodeIDs(sh, vr) {
 			delete(sh.nodes, nodeID)
 		}
 		delete(sh.volumes, rec.VolID)
 		if u := sh.users[rec.User]; u != nil {
-			delete(u.volumes, rec.VolID)
+			u.removeVolume(rec.VolID)
 		}
 		for grantee, shareID := range vr.grants {
 			delete(sh.shares, shareID)
@@ -582,14 +562,14 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 		sh.shares[share.ID] = &share
 		// Owner side: the volume row lives here.
 		if vr, ok := sh.volumes[share.Volume]; ok {
-			vr.grants[share.SharedTo] = share.ID
+			vr.addGrant(share.SharedTo, share.ID)
 			if ou, ok := sh.users[share.SharedBy]; ok {
-				ou.sharesOut[share.ID] = struct{}{}
+				ou.addShareOut(share.ID)
 			}
 		}
 		// Grantee side: the grantee's user row lives here.
 		if gu, ok := sh.users[share.SharedTo]; ok {
-			gu.sharesIn[share.ID] = struct{}{}
+			gu.addShareIn(share.ID)
 		}
 
 	case recAcceptShare:
@@ -608,20 +588,10 @@ func applyRecord(s *Store, sh *shard, rec *journalRecord) {
 // applyNewVolume reconstructs a volume row plus its root directory with the
 // recorded identifiers (the replay twin of newVolumeLocked).
 func applyNewVolume(sh *shard, info protocol.VolumeInfo, rootID protocol.NodeID) {
-	sh.nodes[rootID] = &nodeRow{
-		info: protocol.NodeInfo{
-			ID:     rootID,
-			Volume: info.ID,
-			Kind:   protocol.KindDir,
-			Name:   "/",
-		},
-		children: make(map[string]protocol.NodeID),
-	}
+	sh.nodes[rootID] = &nodeRow{vol: info.ID, kind: protocol.KindDir, name: "/"}
 	sh.volumes[info.ID] = &volumeRow{
-		info:   info,
-		root:   rootID,
-		nodes:  map[protocol.NodeID]struct{}{rootID: {}},
-		grants: make(map[protocol.UserID]protocol.ShareID),
+		info: info,
+		root: rootID,
 	}
 }
 
@@ -630,6 +600,10 @@ func applyNewVolume(sh *shard, info protocol.VolumeInfo, rootID protocol.NodeID)
 // recovery... it does bump it: recovery re-trims exactly where the original
 // run trimmed, so the counter stays an honest activity measure.
 func appendLogReplay(sh *shard, v *volumeRow, n protocol.NodeInfo, deleted bool) {
+	if sh.deltaLogLimit < 0 {
+		v.droppedThrough = v.info.Generation
+		return
+	}
 	v.log = append(v.log, logEntry{gen: v.info.Generation, node: n, deleted: deleted})
 	if len(v.log) > sh.deltaLogLimit {
 		drop := sh.deltaLogLimit / 2
@@ -649,14 +623,11 @@ func appendLogReplay(sh *shard, v *volumeRow, n protocol.NodeInfo, deleted bool)
 func (s *Store) rebuildDerived() {
 	var maxVol, maxNode, maxShare uint64
 	contents := newContentRegistry()
-	s.volumeDir.Range(func(k, _ any) bool {
-		s.volumeDir.Delete(k)
-		return true
-	})
+	s.volumeDir.clear()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for id, vr := range sh.volumes {
-			s.volumeDir.Store(id, vr.info.Owner)
+			s.volumeDir.store(id, vr.info.Owner)
 			if uint64(id) > maxVol {
 				maxVol = uint64(id)
 			}
@@ -665,8 +636,8 @@ func (s *Store) rebuildDerived() {
 			if uint64(id) > maxNode {
 				maxNode = uint64(id)
 			}
-			if nr.info.Kind == protocol.KindFile && !nr.info.Hash.IsZero() {
-				contents.addRef(nr.info.Hash, nr.info.Size)
+			if nr.kind == protocol.KindFile && !nr.hash.IsZero() {
+				contents.addRef(nr.hash, nr.size)
 			}
 		}
 		for id := range sh.shares {

@@ -35,11 +35,9 @@ func (s *Store) CreateUser(user protocol.UserID) (protocol.VolumeInfo, error) {
 	}
 	vol := s.newVolumeLocked(sh, user, protocol.VolumeRoot, "~/Ubuntu One")
 	sh.users[user] = &userRow{
-		id:        user,
-		root:      vol.info.ID,
-		volumes:   map[protocol.VolumeID]struct{}{vol.info.ID: {}},
-		sharesIn:  make(map[protocol.ShareID]struct{}),
-		sharesOut: make(map[protocol.ShareID]struct{}),
+		id:      user,
+		root:    vol.info.ID,
+		volumes: []protocol.VolumeID{vol.info.ID},
 	}
 	s.journal(sh, &journalRecord{Kind: recCreateUser, User: user, Volume: vol.info, Root: vol.root})
 	return vol.info, nil
@@ -50,15 +48,7 @@ func (s *Store) CreateUser(user protocol.UserID) (protocol.VolumeInfo, error) {
 func (s *Store) newVolumeLocked(sh *shard, owner protocol.UserID, typ protocol.VolumeType, path string) *volumeRow {
 	volID := s.allocVolume()
 	rootID := s.allocNode()
-	root := &nodeRow{
-		info: protocol.NodeInfo{
-			ID:     rootID,
-			Volume: volID,
-			Kind:   protocol.KindDir,
-			Name:   "/",
-		},
-		children: make(map[string]protocol.NodeID),
-	}
+	root := &nodeRow{vol: volID, kind: protocol.KindDir, name: "/"}
 	vol := &volumeRow{
 		info: protocol.VolumeInfo{
 			ID:    volID,
@@ -66,13 +56,11 @@ func (s *Store) newVolumeLocked(sh *shard, owner protocol.UserID, typ protocol.V
 			Path:  path,
 			Owner: owner,
 		},
-		root:   rootID,
-		nodes:  map[protocol.NodeID]struct{}{rootID: {}},
-		grants: make(map[protocol.UserID]protocol.ShareID),
+		root: rootID,
 	}
 	sh.nodes[rootID] = root
 	sh.volumes[volID] = vol
-	s.volumeDir.Store(volID, owner)
+	s.volumeDir.store(volID, owner)
 	return vol
 }
 
@@ -95,11 +83,11 @@ func (s *Store) GetUserData(user protocol.UserID) (UserData, error) {
 
 // ownerOf resolves the owner of a volume through the volume directory.
 func (s *Store) ownerOf(vol protocol.VolumeID) (protocol.UserID, error) {
-	v, ok := s.volumeDir.Load(vol)
+	owner, ok := s.volumeDir.load(vol)
 	if !ok {
 		return 0, protocol.ErrNotFound
 	}
-	return v.(protocol.UserID), nil
+	return owner, nil
 }
 
 // checkAccessLocked verifies that user may operate on vol (owned or granted
@@ -139,7 +127,7 @@ func (s *Store) ListVolumes(user protocol.UserID) ([]protocol.VolumeInfo, error)
 		return nil, protocol.ErrNotFound
 	}
 	out := make([]protocol.VolumeInfo, 0, len(u.volumes)+len(u.sharesIn))
-	for volID := range u.volumes {
+	for _, volID := range u.volumes {
 		out = append(out, sh.volumes[volID].info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -209,13 +197,13 @@ func (s *Store) CreateUDF(user protocol.UserID, path string) (protocol.VolumeInf
 	if !ok {
 		return protocol.VolumeInfo{}, protocol.ErrNotFound
 	}
-	for volID := range u.volumes {
+	for _, volID := range u.volumes {
 		if sh.volumes[volID].info.Path == path {
 			return protocol.VolumeInfo{}, fmt.Errorf("%w: UDF %q", protocol.ErrExists, path)
 		}
 	}
 	vol := s.newVolumeLocked(sh, user, protocol.VolumeUDF, path)
-	u.volumes[vol.info.ID] = struct{}{}
+	u.addVolume(vol.info.ID)
 	s.journal(sh, &journalRecord{Kind: recCreateUDF, User: user, Volume: vol.info, Root: vol.root})
 	return vol.info, nil
 }
@@ -265,14 +253,14 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 		return nil, nil, fmt.Errorf("%w: cannot delete the root volume", protocol.ErrBadRequest)
 	}
 	// Collect and remove all nodes.
-	for nodeID := range vr.nodes {
+	for _, nodeID := range volumeNodeIDs(sh, vr) {
 		nr := sh.nodes[nodeID]
-		removed = append(removed, nr.info)
+		removed = append(removed, nr.info(nodeID))
 		delete(sh.nodes, nodeID)
 	}
 	delete(sh.volumes, vol)
 	if u := sh.users[user]; u != nil {
-		delete(u.volumes, vol)
+		u.removeVolume(vol)
 	}
 	// Tear down grants; the share rows of grantees live in their shards and
 	// are cleaned up after this lock is released.
@@ -289,7 +277,7 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 	}
 	s.journal(sh, &journalRecord{Kind: recDeleteVolume, User: user, VolID: vol})
 	sh.wunlock(lockedAt)
-	s.volumeDir.Delete(vol)
+	s.volumeDir.delete(vol)
 
 	// Eagerly tombstone every revoked grant in the peer regions: a grantee
 	// reading through its region's replica must lose access now, not when the
@@ -356,39 +344,28 @@ func (s *Store) makeNode(user protocol.UserID, vol protocol.VolumeID, parent pro
 		parent = vr.root
 	}
 	pr, ok := sh.nodes[parent]
-	if !ok || pr.info.Volume != vol {
+	if !ok || pr.vol != vol {
 		return protocol.NodeInfo{}, fmt.Errorf("%w: parent node", protocol.ErrNotFound)
 	}
-	if pr.info.Kind != protocol.KindDir {
+	if pr.kind != protocol.KindDir {
 		return protocol.NodeInfo{}, fmt.Errorf("%w: parent is a file", protocol.ErrBadRequest)
 	}
 	if existingID, ok := pr.children[name]; ok {
 		existing := sh.nodes[existingID]
-		if existing.info.Kind == kind {
-			return existing.info, nil
+		if existing.kind == kind {
+			return existing.info(existingID), nil
 		}
 		return protocol.NodeInfo{}, fmt.Errorf("%w: %q exists with different kind", protocol.ErrExists, name)
 	}
-	nr := &nodeRow{
-		info: protocol.NodeInfo{
-			ID:     s.allocNode(),
-			Volume: vol,
-			Parent: parent,
-			Kind:   kind,
-			Name:   name,
-		},
-	}
-	if kind == protocol.KindDir {
-		nr.children = make(map[string]protocol.NodeID)
-	}
-	gen := vr.bumpGen()
-	nr.info.Generation = gen
-	sh.nodes[nr.info.ID] = nr
-	vr.nodes[nr.info.ID] = struct{}{}
-	pr.children[name] = nr.info.ID
-	s.appendLog(sh, vr, nr.info, false)
-	s.journal(sh, &journalRecord{Kind: recMakeNode, Node: nr.info})
-	return nr.info, nil
+	id := s.allocNode()
+	nr := &nodeRow{vol: vol, parent: parent, kind: kind, name: name}
+	nr.gen = vr.bumpGen()
+	sh.nodes[id] = nr
+	pr.addChild(name, id)
+	info := nr.info(id)
+	s.appendLog(sh, vr, info, false)
+	s.journal(sh, &journalRecord{Kind: recMakeNode, Node: info})
+	return info, nil
 }
 
 // MakeFile creates a file node ("touch"); see makeNode.
@@ -430,22 +407,22 @@ func (s *Store) MakeContent(user protocol.UserID, vol protocol.VolumeID, node pr
 		return protocol.NodeInfo{}, nil, false, err
 	}
 	nr, ok := sh.nodes[node]
-	if !ok || nr.info.Volume != vol {
+	if !ok || nr.vol != vol {
 		sh.wunlock(lockedAt)
 		return protocol.NodeInfo{}, nil, false, protocol.ErrNotFound
 	}
-	if nr.info.Kind != protocol.KindFile {
+	if nr.kind != protocol.KindFile {
 		sh.wunlock(lockedAt)
 		return protocol.NodeInfo{}, nil, false, fmt.Errorf("%w: content on a directory", protocol.ErrBadRequest)
 	}
-	oldHash := nr.info.Hash
-	wasUpdate = !oldHash.IsZero() && (oldHash != h || nr.info.Size != size)
-	nr.info.Hash = h
-	nr.info.Size = size
-	nr.info.Generation = vr.bumpGen()
-	s.appendLog(sh, vr, nr.info, false)
-	s.journal(sh, &journalRecord{Kind: recMakeContent, Node: nr.info})
-	info = nr.info
+	oldHash := nr.hash
+	wasUpdate = !oldHash.IsZero() && (oldHash != h || nr.size != size)
+	nr.hash = h
+	nr.size = size
+	nr.gen = vr.bumpGen()
+	info = nr.info(node)
+	s.appendLog(sh, vr, info, false)
+	s.journal(sh, &journalRecord{Kind: recMakeContent, Node: info})
 	sh.wunlock(lockedAt)
 
 	s.contents.addRef(h, size)
@@ -497,10 +474,10 @@ func (s *Store) GetNode(user protocol.UserID, vol protocol.VolumeID, node protoc
 		return protocol.NodeInfo{}, err
 	}
 	nr, ok := sh.nodes[node]
-	if !ok || nr.info.Volume != vol {
+	if !ok || nr.vol != vol {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
 	}
-	return nr.info, nil
+	return nr.info(node), nil
 }
 
 // GetRoot returns the root directory of the user's root volume
@@ -513,7 +490,7 @@ func (s *Store) GetRoot(user protocol.UserID) (protocol.NodeInfo, error) {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
 	}
 	vr := sh.volumes[u.root]
-	return sh.nodes[vr.root].info, nil
+	return sh.nodes[vr.root].info(vr.root), nil
 }
 
 // Unlink deletes a node; deleting a directory cascades to its whole subtree
@@ -540,7 +517,7 @@ func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protoco
 		return nil, 0, nil, err
 	}
 	nr, ok := sh.nodes[node]
-	if !ok || nr.info.Volume != vol {
+	if !ok || nr.vol != vol {
 		sh.wunlock(lockedAt)
 		return nil, 0, nil, protocol.ErrNotFound
 	}
@@ -557,13 +534,12 @@ func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protoco
 		for _, child := range cur.children {
 			stack = append(stack, child)
 		}
-		removed = append(removed, cur.info)
+		removed = append(removed, cur.info(id))
 		delete(sh.nodes, id)
-		delete(vr.nodes, id)
 	}
 	// Detach from the parent's name index.
-	if pr, ok := sh.nodes[nr.info.Parent]; ok && pr.children != nil {
-		delete(pr.children, nr.info.Name)
+	if pr, ok := sh.nodes[nr.parent]; ok && pr.children != nil {
+		delete(pr.children, nr.name)
 	}
 	gen = vr.bumpGen()
 	for i := range removed {
@@ -605,7 +581,7 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 		return protocol.NodeInfo{}, err
 	}
 	nr, ok := sh.nodes[node]
-	if !ok || nr.info.Volume != vol {
+	if !ok || nr.vol != vol {
 		return protocol.NodeInfo{}, protocol.ErrNotFound
 	}
 	if node == vr.root {
@@ -615,14 +591,14 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 		newParent = vr.root
 	}
 	pr, ok := sh.nodes[newParent]
-	if !ok || pr.info.Volume != vol || pr.info.Kind != protocol.KindDir {
+	if !ok || pr.vol != vol || pr.kind != protocol.KindDir {
 		return protocol.NodeInfo{}, fmt.Errorf("%w: target directory", protocol.ErrNotFound)
 	}
 	if _, taken := pr.children[newName]; taken {
 		return protocol.NodeInfo{}, fmt.Errorf("%w: target name %q", protocol.ErrExists, newName)
 	}
 	// A directory must not be moved under its own subtree.
-	if nr.info.Kind == protocol.KindDir {
+	if nr.kind == protocol.KindDir {
 		for cur := newParent; cur != 0; {
 			if cur == node {
 				return protocol.NodeInfo{}, fmt.Errorf("%w: move into own subtree", protocol.ErrBadRequest)
@@ -631,19 +607,20 @@ func (s *Store) Move(user protocol.UserID, vol protocol.VolumeID, node, newParen
 			if !ok {
 				break
 			}
-			cur = parentRow.info.Parent
+			cur = parentRow.parent
 		}
 	}
-	if old, ok := sh.nodes[nr.info.Parent]; ok && old.children != nil {
-		delete(old.children, nr.info.Name)
+	if old, ok := sh.nodes[nr.parent]; ok && old.children != nil {
+		delete(old.children, nr.name)
 	}
-	nr.info.Parent = newParent
-	nr.info.Name = newName
-	nr.info.Generation = vr.bumpGen()
-	pr.children[newName] = node
-	s.appendLog(sh, vr, nr.info, false)
-	s.journal(sh, &journalRecord{Kind: recMove, Node: nr.info})
-	return nr.info, nil
+	nr.parent = newParent
+	nr.name = newName
+	nr.gen = vr.bumpGen()
+	pr.addChild(newName, node)
+	info := nr.info(node)
+	s.appendLog(sh, vr, info, false)
+	s.journal(sh, &journalRecord{Kind: recMove, Node: info})
+	return info, nil
 }
 
 // GetDelta returns the changes of a volume after fromGen in generation order
@@ -702,9 +679,10 @@ func (s *Store) GetFromScratch(user protocol.UserID, vol protocol.VolumeID) ([]p
 	// Counted after the access checks: only calls that actually pay the
 	// cascade cost register, mirroring deltaServed/deltaTruncated.
 	s.m.fromScratch.Inc()
-	out := make([]protocol.NodeInfo, 0, len(vr.nodes))
-	for id := range vr.nodes {
-		out = append(out, sh.nodes[id].info)
+	ids := volumeNodeIDs(sh, vr)
+	out := make([]protocol.NodeInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, sh.nodes[id].info(id))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, vr.info.Generation, nil
@@ -764,9 +742,9 @@ func (s *Store) CreateShare(owner protocol.UserID, vol protocol.VolumeID, to pro
 		shareCopy2 := share
 		gsh.shares[share.ID] = &shareCopy2
 	}
-	vr.grants[to] = share.ID
-	ou.sharesOut[share.ID] = struct{}{}
-	gu.sharesIn[share.ID] = struct{}{}
+	vr.addGrant(to, share.ID)
+	ou.addShareOut(share.ID)
+	gu.addShareIn(share.ID)
 	s.journal(osh, &journalRecord{Kind: recCreateShare, Share: share})
 	if osh != gsh {
 		s.journal(gsh, &journalRecord{Kind: recCreateShare, Share: share})

@@ -36,7 +36,11 @@ type Config struct {
 	Shards int
 	// DeltaLogLimit bounds the per-volume delta log. A GetDelta from before
 	// the horizon returns ErrDeltaTruncated and the caller falls back to
-	// GetFromScratch. 0 means DefaultDeltaLogLimit.
+	// GetFromScratch. 0 means DefaultDeltaLogLimit. Negative disables the
+	// log entirely: volumes carry no delta history and every delta read
+	// from a stale generation falls back to a full rescan — the
+	// million-user scale campaign's setting, trading delta-read cost for
+	// zero per-volume log memory.
 	DeltaLogLimit int
 	// Metrics receives per-shard load counters, lock hold times, and the
 	// delta/cascade counters. nil disables registration (the handles still
@@ -103,7 +107,7 @@ type Store struct {
 	// volumeDir maps every live volume to its owner, the directory the
 	// request router consults to find the shard that holds a volume that is
 	// not the caller's (shared volumes may live in a different shard).
-	volumeDir sync.Map // protocol.VolumeID → protocol.UserID
+	volumeDir volumeDirectory
 
 	nextVolume uint64
 	nextNode   uint64
@@ -130,7 +134,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 10
 	}
-	if cfg.DeltaLogLimit <= 0 {
+	if cfg.DeltaLogLimit == 0 {
 		cfg.DeltaLogLimit = DefaultDeltaLogLimit
 	}
 	s := &Store{
@@ -273,21 +277,152 @@ func newShard(id, deltaLogLimit int, reg *metrics.Registry) *shard {
 	}
 }
 
+// volumeDirectory is the volume→owner routing table: plain maps behind
+// striped read-write locks. sync.Map pays ~100 bytes of trie nodes plus two
+// boxed interfaces per entry where a plain map entry is 16 bytes — tens of
+// megabytes at millions of volumes — and the striped locks keep the read
+// path (every routed request) uncontended. Maps materialize on first store,
+// so zero-valued directories work without a constructor.
+type volumeDirectory struct {
+	shards [16]volumeDirShard
+}
+
+type volumeDirShard struct {
+	mu sync.RWMutex
+	m  map[protocol.VolumeID]protocol.UserID
+}
+
+func (d *volumeDirectory) shard(vol protocol.VolumeID) *volumeDirShard {
+	return &d.shards[uint64(vol)%uint64(len(d.shards))]
+}
+
+func (d *volumeDirectory) load(vol protocol.VolumeID) (protocol.UserID, bool) {
+	sh := d.shard(vol)
+	sh.mu.RLock()
+	owner, ok := sh.m[vol]
+	sh.mu.RUnlock()
+	return owner, ok
+}
+
+func (d *volumeDirectory) store(vol protocol.VolumeID, owner protocol.UserID) {
+	sh := d.shard(vol)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[protocol.VolumeID]protocol.UserID)
+	}
+	sh.m[vol] = owner
+	sh.mu.Unlock()
+}
+
+func (d *volumeDirectory) delete(vol protocol.VolumeID) {
+	sh := d.shard(vol)
+	sh.mu.Lock()
+	delete(sh.m, vol)
+	sh.mu.Unlock()
+}
+
+func (d *volumeDirectory) clear() {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+}
+
 type userRow struct {
 	id   protocol.UserID
 	root protocol.VolumeID
-	// volumes owned by this user, including the root volume
-	volumes map[protocol.VolumeID]struct{}
-	// incoming shares (this user is the grantee)
+	// volumes owned by this user, including the root volume. A slice, not a
+	// set: users own a handful of volumes, and a one-entry map per user is
+	// ~200 bytes of buckets at million-user populations. Order is insertion
+	// order; consumers sort where output order matters.
+	volumes []protocol.VolumeID
+	// incoming shares (this user is the grantee); nil until the first grant —
+	// most users never share, and an empty map per user is real memory at
+	// million-user populations. Reads, deletes and ranges treat nil as empty.
 	sharesIn map[protocol.ShareID]struct{}
-	// outgoing shares (this user is the owner)
+	// outgoing shares (this user is the owner); nil until the first grant
 	sharesOut map[protocol.ShareID]struct{}
 }
 
+func (u *userRow) addVolume(id protocol.VolumeID) { u.volumes = append(u.volumes, id) }
+
+func (u *userRow) removeVolume(id protocol.VolumeID) {
+	for i, v := range u.volumes {
+		if v == id {
+			u.volumes = append(u.volumes[:i], u.volumes[i+1:]...)
+			return
+		}
+	}
+}
+
+func (u *userRow) addShareIn(id protocol.ShareID) {
+	if u.sharesIn == nil {
+		u.sharesIn = make(map[protocol.ShareID]struct{}, 1)
+	}
+	u.sharesIn[id] = struct{}{}
+}
+
+func (u *userRow) addShareOut(id protocol.ShareID) {
+	if u.sharesOut == nil {
+		u.sharesOut = make(map[protocol.ShareID]struct{}, 1)
+	}
+	u.sharesOut[id] = struct{}{}
+}
+
+// nodeRow is the packed in-store representation of a node. The sh.nodes
+// key is the node's ID, so the row does not duplicate it, and the fields
+// are laid out to fit the 80-byte size class — 16 bytes less than a row
+// embedding a whole protocol.NodeInfo, which at ~10 nodes per user is real
+// memory at a million users. info materializes the protocol view.
 type nodeRow struct {
-	info protocol.NodeInfo
-	// children indexes directory entries by name; nil for files
+	// children indexes directory entries by name; nil for files and for
+	// directories that have never held an entry. Most directories in a
+	// large population are empty (every volume root starts that way), and
+	// an empty map header per root is real memory at a million users —
+	// the index materializes on first insert via addChild.
 	children map[string]protocol.NodeID
+	name     string
+	vol      protocol.VolumeID
+	parent   protocol.NodeID
+	size     uint64
+	gen      protocol.Generation
+	hash     protocol.Hash
+	kind     protocol.NodeKind
+}
+
+// newNodeRow packs a protocol view into a row; the ID stays with the map key.
+func newNodeRow(info protocol.NodeInfo) *nodeRow {
+	return &nodeRow{
+		name: info.Name, vol: info.Volume, parent: info.Parent,
+		size: info.Size, gen: info.Generation, hash: info.Hash, kind: info.Kind,
+	}
+}
+
+// info materializes the protocol view of the row stored under id.
+func (n *nodeRow) info(id protocol.NodeID) protocol.NodeInfo {
+	return protocol.NodeInfo{
+		ID: id, Volume: n.vol, Parent: n.parent, Kind: n.kind,
+		Name: n.name, Hash: n.hash, Size: n.size, Generation: n.gen,
+	}
+}
+
+// setInfo overwrites every packed field from the protocol view, keeping the
+// children index.
+func (n *nodeRow) setInfo(info protocol.NodeInfo) {
+	n.name, n.vol, n.parent = info.Name, info.Volume, info.Parent
+	n.size, n.gen, n.hash, n.kind = info.Size, info.Generation, info.Hash, info.Kind
+}
+
+// addChild records a directory entry, materializing the children index on
+// first use. Readers treat a nil index and a missing key identically, so
+// laziness never shows up in behavior.
+func (n *nodeRow) addChild(name string, id protocol.NodeID) {
+	if n.children == nil {
+		n.children = make(map[string]protocol.NodeID, 1)
+	}
+	n.children[name] = id
 }
 
 type logEntry struct {
@@ -297,16 +432,40 @@ type logEntry struct {
 }
 
 type volumeRow struct {
-	info  protocol.VolumeInfo
-	root  protocol.NodeID
-	nodes map[protocol.NodeID]struct{}
-	log   []logEntry
+	info protocol.VolumeInfo
+	root protocol.NodeID
+	log  []logEntry
 	// droppedThrough is the highest generation whose log entries may have
 	// been discarded; GetDelta can only serve fromGen ≥ droppedThrough.
 	droppedThrough protocol.Generation
 	// grants maps grantee user to the share id, for permission checks on
-	// shared volumes
+	// shared volumes; nil until the first grant (see userRow.sharesIn)
 	grants map[protocol.UserID]protocol.ShareID
+}
+
+func (v *volumeRow) addGrant(to protocol.UserID, id protocol.ShareID) {
+	if v.grants == nil {
+		v.grants = make(map[protocol.UserID]protocol.ShareID, 1)
+	}
+	v.grants[to] = id
+}
+
+// volumeNodeIDs walks the children tree from v's root and returns every node
+// id in the volume, root included. makeNode always attaches new nodes under
+// an existing parent and unlink removes whole subtrees, so the walk reaches
+// every live node — which is what lets volumeRow skip maintaining a separate
+// per-volume node set (measurable memory at millions of volumes). Callers
+// needing a stable order must sort, exactly as they had to for the old set.
+func volumeNodeIDs(sh *shard, v *volumeRow) []protocol.NodeID {
+	ids := append(make([]protocol.NodeID, 0, 8), v.root)
+	for i := 0; i < len(ids); i++ {
+		if nr, ok := sh.nodes[ids[i]]; ok {
+			for _, child := range nr.children {
+				ids = append(ids, child)
+			}
+		}
+	}
+	return ids
 }
 
 func (v *volumeRow) bumpGen() protocol.Generation {
@@ -318,6 +477,12 @@ func (v *volumeRow) bumpGen() protocol.Generation {
 // when the log exceeds the shard's retention limit. It runs under the
 // shard's write lock.
 func (s *Store) appendLog(sh *shard, v *volumeRow, n protocol.NodeInfo, deleted bool) {
+	if sh.deltaLogLimit < 0 {
+		// Log disabled: record only the horizon so GetDelta reports
+		// truncation and clients rescan. No entry is retained.
+		v.droppedThrough = v.info.Generation
+		return
+	}
 	v.log = append(v.log, logEntry{gen: v.info.Generation, node: n, deleted: deleted})
 	if len(v.log) > sh.deltaLogLimit {
 		// Drop the oldest half rather than one entry at a time; amortizes

@@ -129,6 +129,50 @@ type ReplicationStats struct {
 	LagMaxEp     float64 `json:"lag_max_epochs"`
 }
 
+// PlacementStats records power-of-two-choices placement quality at one
+// balancer shard count: after placing Sessions sessions across a fixed
+// backend fleet, the most-loaded backend's session count against the even
+// split. MaxOverMean = 1.0 is a perfect spread; the two-choices bound keeps
+// it near 1 even as shard counts grow and each decision sees less state.
+type PlacementStats struct {
+	Shards      int     `json:"shards"`
+	Backends    int     `json:"backends"`
+	Sessions    int     `json:"sessions"`
+	MaxLoad     uint64  `json:"max_load"`
+	MeanLoad    float64 `json:"mean_load"`
+	MaxOverMean float64 `json:"max_over_mean"`
+}
+
+// ScaleStats is the report's scale-campaign section: a generator-only run at
+// populations far past the trace scale (the paper served 1.29M users),
+// recording sustained event throughput, steady-state resident bytes per user
+// (heap after a full GC, divided by the population), peak process RSS, and
+// placement quality versus balancer shard count. Produced by cmd/u1scale;
+// omitted by the plain bench producers.
+type ScaleStats struct {
+	Users   int   `json:"users"`
+	Days    int   `json:"days"`
+	Workers int   `json:"workers"`
+	Seed    int64 `json:"seed"`
+	// Compact records whether the run used the generator's low-memory
+	// configuration (workload.Config.LowMem); DeltaLogLimit the per-volume
+	// delta-log cap the cluster ran with (0 = the metadata default). Both
+	// change the stream vs the golden configuration, so they are part of
+	// the record.
+	Compact       bool `json:"compact"`
+	DeltaLogLimit int  `json:"delta_log_limit,omitempty"`
+
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	WallSeconds  float64 `json:"wall_seconds"`
+
+	HeapBytes    uint64  `json:"heap_bytes"`
+	BytesPerUser float64 `json:"bytes_per_user"`
+	PeakRSSBytes uint64  `json:"peak_rss_bytes,omitempty"`
+
+	Placement []PlacementStats `json:"placement,omitempty"`
+}
+
 // ScenarioClassErrors is one op class's error accounting in a scenario
 // report: how many operations the class saw and how many errored.
 type ScenarioClassErrors struct {
@@ -221,6 +265,9 @@ type BenchReport struct {
 	// Scenarios carries per-scenario chaos reports keyed by catalog name
 	// (written by cmd/u1chaos); omitted by the plain bench producers.
 	Scenarios map[string]ScenarioStats `json:"scenarios,omitempty"`
+	// Scale carries the million-user scale campaign's record (written by
+	// cmd/u1scale); omitted by the plain bench producers.
+	Scale *ScaleStats `json:"scale,omitempty"`
 	// Counters carries the full counter snapshot for trend diffing.
 	Counters map[string]uint64 `json:"counters"`
 }

@@ -210,6 +210,35 @@ func CompareBenchReports(prev, next BenchReport, tolerance float64) BenchDiff {
 		latency("replication.lag_mean_epochs", prev.Replication.LagMeanEp, next.Replication.LagMeanEp)
 		latency("replication.lag_max_epochs", prev.Replication.LagMaxEp, next.Replication.LagMaxEp)
 	}
+
+	// Scale campaign (schema generation 9 on) compares only when both
+	// reports carry it. Throughput and footprint are informational — the
+	// campaign's population, compaction mode, and host differ across
+	// reports, so a delta guides a look rather than failing the build — but
+	// placement max/mean at matching shard counts is compared as a latency:
+	// it is host- and scale-independent, so a drift means the two-choices
+	// placement itself got worse.
+	if prev.Scale != nil && next.Scale != nil {
+		info := func(metric string, p, n float64) {
+			delta := BenchDelta{Metric: metric, Prev: p, Next: n}
+			if p > 0 {
+				delta.Ratio = n / p
+			}
+			d.Deltas = append(d.Deltas, delta)
+		}
+		info("scale.events_per_sec", prev.Scale.EventsPerSec, next.Scale.EventsPerSec)
+		info("scale.bytes_per_user", prev.Scale.BytesPerUser, next.Scale.BytesPerUser)
+		prevPl := make(map[int]PlacementStats, len(prev.Scale.Placement))
+		for _, p := range prev.Scale.Placement {
+			prevPl[p.Shards] = p
+		}
+		for _, n := range next.Scale.Placement {
+			if p, ok := prevPl[n.Shards]; ok {
+				latency(fmt.Sprintf("scale.placement.shards_%d.max_over_mean", n.Shards),
+					p.MaxOverMean, n.MaxOverMean)
+			}
+		}
+	}
 	return d
 }
 

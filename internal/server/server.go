@@ -47,7 +47,8 @@ type Config struct {
 	// minimum 1 (the paper's 6-machine default still yields the exact global
 	// least-loaded rule); an explicit value is authoritative.
 	GatewayShards int
-	// DeltaLogLimit bounds per-volume delta logs (0 → metadata default).
+	// DeltaLogLimit bounds per-volume delta logs (0 → metadata default;
+	// negative disables the logs entirely, see metadata.Config).
 	DeltaLogLimit int
 	// RPCProcs is the DAL worker count (default 48).
 	RPCProcs int

@@ -135,6 +135,115 @@ func (c *Collector) WriteCSV(dir string) error {
 	return nil
 }
 
+// streamState holds the open logfiles of a streaming emission session.
+// Writers stay open across flushes so each (server, proc, day) logfile grows
+// in place, exactly as WriteCSV would have produced it in one shot.
+type streamState struct {
+	dir     string
+	files   map[string]*bufio.Writer
+	handles map[string]*os.File
+	buf     []byte
+}
+
+// StartStream switches the collector to streaming emission: records
+// accumulate only until the next Flush, which appends them to the same
+// per-(server, proc, day) logfiles WriteCSV would produce and releases the
+// memory. Storage/session records and RPC spans never share a logfile (RPC
+// spans log under the synthetic server name "rpc"), so every file's bytes
+// are identical to a post-hoc WriteCSV of the same run even though the two
+// record streams interleave across flushes. Call Flush at epoch barriers and
+// CloseStream when the run ends.
+func (c *Collector) StartStream(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stream != nil {
+		return fmt.Errorf("trace: stream to %s already open", c.stream.dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: creating %s: %w", dir, err)
+	}
+	c.stream = &streamState{
+		dir:     dir,
+		files:   make(map[string]*bufio.Writer),
+		handles: make(map[string]*os.File),
+	}
+	return nil
+}
+
+// Flush appends all buffered records to their logfiles and empties the
+// buffers. It is a no-op when no stream is open.
+func (c *Collector) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Collector) flushLocked() error {
+	s := c.stream
+	if s == nil {
+		return nil
+	}
+	for i := range c.records {
+		if err := c.streamWrite(s, &c.records[i]); err != nil {
+			return err
+		}
+	}
+	for i := range c.rpcRecs {
+		if err := c.streamWrite(s, &c.rpcRecs[i]); err != nil {
+			return err
+		}
+	}
+	c.flushed += uint64(len(c.records))
+	c.records = c.records[:0]
+	c.rpcRecs = c.rpcRecs[:0]
+	return nil
+}
+
+func (c *Collector) streamWrite(s *streamState, r *Record) error {
+	day := time.Unix(0, r.Time).UTC()
+	name := Logname(c.srvTab[r.Server], int(r.Proc), day)
+	w, ok := s.files[name]
+	if !ok {
+		f, err := os.Create(filepath.Join(s.dir, name))
+		if err != nil {
+			return fmt.Errorf("trace: creating logfile: %w", err)
+		}
+		s.handles[name] = f
+		w = bufio.NewWriterSize(f, 1<<16)
+		s.files[name] = w
+	}
+	s.buf = c.appendLine(s.buf[:0], r)
+	s.buf = append(s.buf, '\n')
+	if _, err := w.Write(s.buf); err != nil {
+		return fmt.Errorf("trace: writing logfile: %w", err)
+	}
+	return nil
+}
+
+// CloseStream flushes any remaining records, closes every logfile, and
+// returns the collector to accumulate mode.
+func (c *Collector) CloseStream() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stream
+	if s == nil {
+		return nil
+	}
+	err := c.flushLocked()
+	for name, w := range s.files {
+		if ferr := w.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("trace: flushing %s: %w", name, ferr)
+		}
+	}
+	for name, f := range s.handles {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: closing %s: %w", name, cerr)
+		}
+	}
+	c.stream = nil
+	return err
+}
+
 // Dataset is a trace read back from logfiles: records sorted by timestamp
 // plus the reconstructed interning tables.
 type Dataset struct {

@@ -168,6 +168,12 @@ type Collector struct {
 	rpcRecs []Record
 	rpcAgg  *RPCAggregate
 
+	// stream, when non-nil, turns the record slices into per-epoch buffers:
+	// Flush appends them to open logfiles and releases the memory. flushed
+	// counts records already written so Len stays meaningful.
+	stream  *streamState
+	flushed uint64
+
 	servers map[string]uint8
 	srvTab  []string
 	exts    map[string]uint8
@@ -346,9 +352,10 @@ func (c *Collector) RPC() *RPCAggregate {
 	return c.rpcAgg
 }
 
-// Len returns the number of storage/session records collected.
+// Len returns the number of storage/session records collected, including
+// records already flushed to disk by a streaming session.
 func (c *Collector) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.records)
+	return len(c.records) + int(c.flushed)
 }

@@ -291,3 +291,80 @@ func TestDynamicCollectorAttach(t *testing.T) {
 		t.Error("collector attached mid-traffic recorded no RPC spans")
 	}
 }
+
+func TestStreamMatchesWriteCSVByteForByte(t *testing.T) {
+	// Streaming emission with arbitrary flush points must produce the same
+	// per-file bytes as one post-hoc WriteCSV: this is the contract that
+	// lets the scale campaign stream instead of accumulating a month of
+	// records in memory.
+	span := func(at time.Time, user protocol.UserID) rpc.Span {
+		return rpc.Span{RPC: protocol.RPCGetDelta, User: user, Shard: 3, Proc: 2,
+			Start: at, Service: 4 * time.Millisecond}
+	}
+	feed := func(c *Collector, flush func(i int)) {
+		api, rpcObs := c.APIObserver(), c.RPCObserver()
+		for i := 0; i < 50; i++ {
+			at := t0.Add(time.Duration(i) * 40 * time.Minute) // crosses day files
+			ev := sampleEvent(protocol.OpPutContent, at)
+			ev.Session = protocol.SessionID(1000 + i)
+			if i%3 == 0 {
+				ev.Server, ev.Proc = "dill", 7
+			}
+			api(ev)
+			rpcObs(span(at, protocol.UserID(i%5)))
+			flush(i)
+		}
+	}
+
+	batchDir, streamDir := t.TempDir(), t.TempDir()
+
+	batch := NewCollector(Config{Start: t0, Days: 30, KeepRPCRecords: true})
+	feed(batch, func(int) {})
+	if err := batch.WriteCSV(batchDir); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := NewCollector(Config{Start: t0, Days: 30, KeepRPCRecords: true})
+	if err := stream.StartStream(streamDir); err != nil {
+		t.Fatal(err)
+	}
+	feed(stream, func(i int) {
+		if i%7 == 0 { // uneven epochs, including mid-day boundaries
+			if err := stream.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if err := stream.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() != batch.Len() {
+		t.Errorf("Len after streaming = %d, want %d", stream.Len(), batch.Len())
+	}
+	if got := len(stream.Records()); got != 0 {
+		t.Errorf("stream retained %d records in memory", got)
+	}
+
+	want, err := filepath.Glob(filepath.Join(batchDir, "production-*.csv"))
+	if err != nil || len(want) == 0 {
+		t.Fatalf("batch wrote no logfiles (err=%v)", err)
+	}
+	got, _ := filepath.Glob(filepath.Join(streamDir, "production-*.csv"))
+	if len(got) != len(want) {
+		t.Fatalf("file sets differ: batch %d, stream %d", len(want), len(got))
+	}
+	for _, p := range want {
+		name := filepath.Base(p)
+		wb, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := os.ReadFile(filepath.Join(streamDir, name))
+		if err != nil {
+			t.Fatalf("stream missing %s: %v", name, err)
+		}
+		if string(wb) != string(gb) {
+			t.Errorf("%s differs between batch and stream emission", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,6 +37,12 @@ type Config struct {
 	// Epoch bounds cross-shard virtual-clock skew under Workers > 1
 	// (0 → sim.DefaultEpoch). Ignored semantically at Workers=1.
 	Epoch time.Duration
+	// EpochAdapt, when non-nil, lets the engine resize the epoch between
+	// barriers based on observed event density (see sim.EpochAdaptation).
+	// Deterministic for a fixed config but a different trajectory than a
+	// pinned epoch, so it is nil — pinned — by default and for all golden
+	// runs.
+	EpochAdapt *sim.EpochAdaptation
 	// Profile overrides the calibrated defaults.
 	Profile *Profile
 	// Attacks injects DDoS events; nil means DefaultAttacks. Use an empty
@@ -52,6 +59,16 @@ type Config struct {
 	// thundering herd of reconnects. Zero preserves the original
 	// reschedule-on-next-arrival behavior bit-for-bit.
 	ReconnectBackoff time.Duration
+	// LowMem shrinks per-user resident state for very large populations
+	// (the million-user scale campaign): users draw from 8-byte splitmix64
+	// sources instead of ~5 KB math/rand lagged-Fibonacci sources, and a
+	// user's client — with its per-volume mirrors, the dominant per-user
+	// heap after the RNG — is released on disconnect and rebuilt on the
+	// next connection (the reconnect re-syncs from scratch, like a fresh
+	// device). Both change the generated streams relative to the default
+	// configuration, so LowMem runs are not comparable with the committed
+	// goldens; determinism for a fixed (Seed, Workers, LowMem) still holds.
+	LowMem bool
 }
 
 // PaperStart is the first day of the original trace (January 11, 2014).
@@ -84,7 +101,8 @@ func (t *Totals) add(o Totals) {
 // event goroutine, so shards need no locks and each shard's stream is
 // deterministic in isolation.
 type genShard struct {
-	eng *sim.Engine
+	eng  *sim.Engine
+	prof *Profile
 	// zipf and bigZipf draw popular-content ranks. Per-shard streams seeded
 	// from (Seed, shard) keep draws lock-free and reproducible; shard 0
 	// carries the legacy stream so Workers=1 matches the serial generator.
@@ -95,6 +113,27 @@ type genShard struct {
 	// the shard's deterministic event order).
 	users  []*user
 	totals Totals
+	// names interns the rare file names outside the synthetic grammar, so a
+	// fileRef never carries a heap string; nameIdx is its reverse map, built
+	// lazily (both stay empty on the default profile's grammar). Per-shard
+	// tables keep interning lock-free under parallel generation.
+	names   []string
+	nameIdx map[string]uint32
+}
+
+// internName returns name's index in the shard's intern table, adding it on
+// first sight.
+func (sh *genShard) internName(name string) uint32 {
+	if i, ok := sh.nameIdx[name]; ok {
+		return i
+	}
+	if sh.nameIdx == nil {
+		sh.nameIdx = make(map[string]uint32)
+	}
+	i := uint32(len(sh.names))
+	sh.names = append(sh.names, name)
+	sh.nameIdx[name] = i
+	return i
 }
 
 // Generator drives the synthetic population.
@@ -125,10 +164,10 @@ type user struct {
 	id     protocol.UserID
 	sh     *genShard
 	class  Class
-	par    classParams
+	par    *classParams
 	weight float64
-	token  string
-	rng    *rand.Rand
+	token  [16]byte // raw auth token; hex-encoded at connect time
+	rng    *urng
 
 	cli     *client.Client
 	online  bool
@@ -152,19 +191,129 @@ type user struct {
 	// draw from it deterministically (map iteration order never leaks into
 	// the simulation).
 	files []fileRef
-	// udfVols lists the user's UDF volumes in creation order.
+	// udfVols lists the user's UDF volumes in creation order (nil until the
+	// first UDF exists).
 	udfVols []protocol.VolumeID
-	// dirs lists upload target directories per volume.
+	// dirs lists upload target directories per volume. The map materializes
+	// lazily on the first directory creation — most of a large population
+	// never makes one, and a million empty maps are real memory.
 	dirs map[protocol.VolumeID][]protocol.NodeID
 }
 
+// addDir records a new upload-target directory, materializing the per-user
+// map on first use. Readers treat a nil map and a missing key identically,
+// so laziness never shows up in behavior.
+func (u *user) addDir(vol protocol.VolumeID, id protocol.NodeID) {
+	if u.dirs == nil {
+		u.dirs = make(map[protocol.VolumeID][]protocol.NodeID, 1)
+	}
+	u.dirs[vol] = append(u.dirs[vol], id)
+}
+
+// fileRef identifies one live file in a user's working set, compactly. Every
+// name the generator produces follows the synthetic grammar —
+// "f<uid>-<seq>[.<ext>]" for uploads and preseeds, "m<uid>-<seq>" for moves —
+// so the name lives as two integers plus a catalog index for the suffix
+// instead of a heap string, and the extension profile is likewise a catalog
+// index instead of a pointer: 40 bytes per ref, nothing on the heap. A name
+// outside the grammar (possible only under a custom profile) falls back to
+// the owning shard's intern table (kind 0, seq = table index). At a million
+// users the files/recent slices are the bulk of generator-owned state, which
+// is what this representation is for.
 type fileRef struct {
 	vol     protocol.VolumeID
 	node    protocol.NodeID
 	parent  protocol.NodeID
-	name    string
-	ext     *ExtProfile
-	created time.Time
+	uid     uint32 // user id embedded in the name
+	seq     uint32 // per-user sequence embedded in the name
+	ext     uint16 // catalog index of the extension profile
+	nameExt uint16 // catalog index of the name's suffix ("" entry = none)
+	kind    uint8  // name grammar: 'f', 'm', or 0 = interned irregular name
+}
+
+// fileName reconstructs the node name byte-for-byte as it was created.
+func (f fileRef) fileName(sh *genShard) string {
+	if f.kind == 0 {
+		return sh.names[f.seq]
+	}
+	name := fmt.Sprintf("%c%d-%d", f.kind, f.uid, f.seq)
+	if ext := sh.prof.Extensions[f.nameExt].Ext; ext != "" {
+		name += "." + ext
+	}
+	return name
+}
+
+// extProfile resolves the file's extension profile from the catalog.
+func (f fileRef) extProfile(sh *genShard) *ExtProfile {
+	return &sh.prof.Extensions[f.ext]
+}
+
+// fileRefFor compacts a node name (typically read back from a mirror) into a
+// fileRef: grammar names pack into integers, anything else interns whole.
+// The extension profile follows ExtByName(extFromName(name)) semantics.
+func (sh *genShard) fileRefFor(vol protocol.VolumeID, node, parent protocol.NodeID, name string) fileRef {
+	f := fileRef{vol: vol, node: node, parent: parent}
+	if uid, seq, suffix, kind, ok := parseSyntheticName(name); ok {
+		if idx, found := sh.prof.extIndexByName(suffix); found {
+			f.uid, f.seq, f.kind = uid, seq, kind
+			f.nameExt, f.ext = idx, idx
+			return f
+		}
+	}
+	f.kind = 0
+	f.seq = sh.internName(name)
+	f.ext = sh.prof.extIndexLoose(extFromName(name))
+	return f
+}
+
+// parseSyntheticName splits a grammar name into its numeric parts and suffix.
+// Reconstruction must be exact, so digit runs with leading zeros (which
+// fmt.Sprintf never emits) and out-of-range values are rejected.
+func parseSyntheticName(name string) (uid, seq uint32, suffix string, kind uint8, ok bool) {
+	if len(name) < 4 || (name[0] != 'f' && name[0] != 'm') {
+		return 0, 0, "", 0, false
+	}
+	kind = name[0]
+	rest := name[1:]
+	uid64, n := parseUint32Prefix(rest)
+	if n == 0 || n >= len(rest) || rest[n] != '-' {
+		return 0, 0, "", 0, false
+	}
+	rest = rest[n+1:]
+	seq64, n := parseUint32Prefix(rest)
+	if n == 0 {
+		return 0, 0, "", 0, false
+	}
+	rest = rest[n:]
+	if rest != "" {
+		if rest[0] != '.' {
+			return 0, 0, "", 0, false
+		}
+		suffix = rest[1:]
+		if suffix == "" {
+			return 0, 0, "", 0, false // "f1-2." would rebuild as "f1-2"
+		}
+	}
+	return uid64, seq64, suffix, kind, true
+}
+
+// parseUint32Prefix parses the leading canonical (no leading zero) decimal
+// run of s, returning the value and the number of bytes consumed (0 = no
+// canonical run, or overflow).
+func parseUint32Prefix(s string) (uint32, int) {
+	var v uint64
+	var n int
+	for n < len(s) && s[n] >= '0' && s[n] <= '9' {
+		v = v*10 + uint64(s[n]-'0')
+		if v > math.MaxUint32 {
+			return 0, 0
+		}
+		n++
+	}
+	if n == 0 || (s[0] == '0' && n > 1) {
+		return 0, 0
+	}
+	return uint32(v), n
 }
 
 // shardSeed derives a per-shard seed for a generator random source. Shard 0
@@ -211,6 +360,9 @@ func New(cfg Config, c *server.Cluster) *Generator {
 		end:  cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.EpochAdapt != nil {
+		g.se.AdaptEpoch(*cfg.EpochAdapt)
+	}
 	zipfN := g.prof.ZipfN
 	if zipfN == 0 {
 		// Auto-scale the content universe with the population so the dedup
@@ -227,7 +379,8 @@ func New(cfg Config, c *server.Cluster) *Generator {
 	g.shards = make([]*genShard, g.se.NumShards())
 	for i := range g.shards {
 		g.shards[i] = &genShard{
-			eng: g.se.Shard(i),
+			eng:  g.se.Shard(i),
+			prof: g.prof,
 			zipf: dist.NewZipf(rand.New(rand.NewSource(
 				shardSeed(cfg.Seed, 7, i))), g.prof.ZipfS, zipfN),
 			bigZipf: dist.NewZipf(rand.New(rand.NewSource(
@@ -235,6 +388,16 @@ func New(cfg Config, c *server.Cluster) *Generator {
 		}
 	}
 	return g
+}
+
+// userSource builds one user's random source: the legacy ~5 KB math/rand
+// source whose streams the committed goldens pin, or the 8-byte splitmix64
+// source under LowMem.
+func (g *Generator) userSource(seed int64) rand.Source {
+	if g.cfg.LowMem {
+		return dist.NewSplitmixSource(seed)
+	}
+	return rand.NewSource(seed)
 }
 
 // Engine returns the generator's sharded event engine (event counts,
@@ -258,8 +421,7 @@ func (g *Generator) Run() Totals {
 		u := &user{
 			id:    protocol.UserID(i + 1),
 			class: PickClass(g.rng),
-			rng:   rand.New(rand.NewSource(g.cfg.Seed + int64(i)*7919)),
-			dirs:  make(map[protocol.VolumeID][]protocol.NodeID),
+			rng:   newURng(g.cfg.Seed+int64(i)*7919, g.cfg.LowMem),
 		}
 		u.sh = g.shards[g.se.ShardFor(uint64(u.id))]
 		u.sh.users = append(u.sh.users, u)
@@ -276,7 +438,11 @@ func (g *Generator) Run() Totals {
 		if err != nil {
 			panic(fmt.Sprintf("workload: issuing token: %v", err))
 		}
-		u.token = token
+		// Retain the raw 16 bytes, not the 32-byte hex string: a heap
+		// string per user is real memory at a million users.
+		if _, err := hex.Decode(u.token[:], []byte(token)); err != nil {
+			panic(fmt.Sprintf("workload: decoding token: %v", err))
+		}
 		g.preseed(u)
 		g.users[i] = u
 		g.scheduleNextSession(u, g.cfg.Start)
@@ -367,14 +533,14 @@ func (g *Generator) preseed(u *user) {
 func (g *Generator) pickHash(u *user, ext **ExtProfile, size *uint64) protocol.Hash {
 	if *size > 5<<20 && u.rng.Float64() < 0.35 {
 		rank := u.sh.bigZipf.Rank()
-		popRng := rand.New(rand.NewSource(int64(rank) * 31))
+		popRng := rand.New(g.userSource(int64(rank) * 31))
 		*ext = g.prof.ExtByName(bigContentExts[popRng.Intn(len(bigContentExts))])
 		*size = uint64(dist.LognormalFromMedian(25<<20, 3).Sample(popRng))
 		return protocol.HashBytes([]byte(fmt.Sprintf("popbig-%d", rank)))
 	}
 	if u.rng.Float64() < g.prof.PopularContentP {
 		rank := u.sh.zipf.Rank()
-		popRng := rand.New(rand.NewSource(int64(rank)))
+		popRng := rand.New(g.userSource(int64(rank)))
 		*ext = g.prof.PickPopularExtension(popRng)
 		*size = sampleSize(*ext, popRng)
 		return protocol.HashBytes([]byte(fmt.Sprintf("pop-%d", rank)))
@@ -516,7 +682,7 @@ func (g *Generator) startSession(u *user) {
 		u.cli = client.New(tr)
 		u.cli.Retry = g.cfg.Retry
 	}
-	if err := u.cli.Connect(u.token); err != nil {
+	if err := u.cli.Connect(hex.EncodeToString(u.token[:])); err != nil {
 		// Auth failures happen (§7.3: 2.76%); the desktop client retries on
 		// its next scheduled connection — or, with ReconnectBackoff set, on a
 		// short jittered backoff, so an outage ends in a reconnect herd. The
@@ -552,7 +718,6 @@ func (g *Generator) startSession(u *user) {
 		if v, err := u.cli.CreateUDF(fmt.Sprintf("~/UDF-%d-0", u.id)); err == nil {
 			u.udfs = 1
 			u.udfVols = append(u.udfVols, v.ID)
-			u.dirs[v.ID] = nil
 		}
 	}
 
@@ -611,6 +776,13 @@ func (g *Generator) endSession(u *user) {
 	}
 	u.online = false
 	u.cli.Disconnect() //nolint:errcheck
+	if g.cfg.LowMem {
+		// Release the client and its mirrors while the user is offline; the
+		// next startSession rebuilds it and re-syncs from the server. The
+		// per-user fileRef working set survives, so behavior stays closed
+		// over a reconnect — only the delta-vs-rescan sync mix changes.
+		u.cli = nil
+	}
 	g.scheduleNextSession(u, u.sh.eng.Now())
 }
 
@@ -657,16 +829,16 @@ func (g *Generator) adoptMirrorFiles(u *user) {
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if cap(u.files)-len(u.files) < len(ids) {
+		// Exact-capacity growth: append's doubling would strand ~a third of
+		// the backing array across a million users' working sets.
+		grown := make([]fileRef, len(u.files), len(u.files)+len(ids))
+		copy(grown, u.files)
+		u.files = grown
+	}
 	for _, id := range ids {
 		info := m.Nodes[id]
-		u.files = append(u.files, fileRef{
-			vol:     root,
-			node:    id,
-			parent:  info.Parent,
-			name:    info.Name,
-			ext:     g.prof.ExtByName(extFromName(info.Name)),
-			created: g.cfg.Start,
-		})
+		u.files = append(u.files, u.sh.fileRefFor(root, id, info.Parent, info.Name))
 	}
 }
 

@@ -7,8 +7,6 @@
 package workload
 
 import (
-	"math/rand"
-
 	"u1/internal/dist"
 )
 
@@ -175,33 +173,38 @@ type classParams struct {
 	sessionsPerDay float64
 }
 
-func params(c Class) classParams {
-	switch c {
-	case Occasional:
-		return classParams{
-			activeP: 0.0045, upP: 0.40, downP: 0.42,
-			weight:         dist.LognormalFromMedian(0.08, 2.5),
-			sessionsPerDay: 1.6,
-		}
-	case UploadOnly:
-		return classParams{
-			activeP: 0.12, upP: 0.70, downP: 0.02,
-			weight:         dist.ParetoTailed{Body: dist.LognormalFromMedian(1, 3), Tail: dist.Pareto{Xm: 12, Alpha: 1.05}, TailP: 0.06},
-			sessionsPerDay: 2.2,
-		}
-	case DownloadOnly:
-		return classParams{
-			activeP: 0.12, upP: 0.02, downP: 0.70,
-			weight:         dist.ParetoTailed{Body: dist.LognormalFromMedian(1, 3), Tail: dist.Pareto{Xm: 12, Alpha: 1.05}, TailP: 0.06},
-			sessionsPerDay: 2.2,
-		}
-	default: // Heavy
-		return classParams{
-			activeP: 0.26, upP: 0.37, downP: 0.40,
-			weight:         dist.ParetoTailed{Body: dist.LognormalFromMedian(2, 3.5), Tail: dist.Pareto{Xm: 30, Alpha: 0.85}, TailP: 0.10},
-			sessionsPerDay: 3.4,
-		}
+// classParamsTab holds the four parameter sets, one per class. params
+// returns pointers into it: the sets are immutable and identical for every
+// user of a class, so sharing one copy avoids embedding the struct (and
+// boxing its samplers) in each of a million user rows.
+var classParamsTab = [...]classParams{
+	Occasional: {
+		activeP: 0.0045, upP: 0.40, downP: 0.42,
+		weight:         dist.LognormalFromMedian(0.08, 2.5),
+		sessionsPerDay: 1.6,
+	},
+	UploadOnly: {
+		activeP: 0.12, upP: 0.70, downP: 0.02,
+		weight:         dist.ParetoTailed{Body: dist.LognormalFromMedian(1, 3), Tail: dist.Pareto{Xm: 12, Alpha: 1.05}, TailP: 0.06},
+		sessionsPerDay: 2.2,
+	},
+	DownloadOnly: {
+		activeP: 0.12, upP: 0.02, downP: 0.70,
+		weight:         dist.ParetoTailed{Body: dist.LognormalFromMedian(1, 3), Tail: dist.Pareto{Xm: 12, Alpha: 1.05}, TailP: 0.06},
+		sessionsPerDay: 2.2,
+	},
+	Heavy: {
+		activeP: 0.26, upP: 0.37, downP: 0.40,
+		weight:         dist.ParetoTailed{Body: dist.LognormalFromMedian(2, 3.5), Tail: dist.Pareto{Xm: 30, Alpha: 0.85}, TailP: 0.10},
+		sessionsPerDay: 3.4,
+	},
+}
+
+func params(c Class) *classParams {
+	if int(c) < 0 || int(c) >= len(classParamsTab) {
+		c = Heavy
 	}
+	return &classParamsTab[c]
 }
 
 // Profile bundles every distribution the generator draws from.
@@ -298,7 +301,7 @@ func DefaultProfile() *Profile {
 }
 
 // PickExtension samples an extension profile.
-func (p *Profile) PickExtension(r *rand.Rand) *ExtProfile {
+func (p *Profile) PickExtension(r dist.Rand) *ExtProfile {
 	return &p.Extensions[p.extPick.Draw(r)]
 }
 
@@ -315,7 +318,7 @@ var popularExtNames = []struct {
 }
 
 // PickPopularExtension samples the extension of a popular (shared) content.
-func (p *Profile) PickPopularExtension(r *rand.Rand) *ExtProfile {
+func (p *Profile) PickPopularExtension(r dist.Rand) *ExtProfile {
 	if p.popPick == nil {
 		weights := make([]float64, len(popularExtNames))
 		for i, pe := range popularExtNames {
@@ -337,8 +340,42 @@ func (p *Profile) ExtByName(ext string) *ExtProfile {
 	return &p.Extensions[len(p.Extensions)-1]
 }
 
+// extIndex returns e's catalog index (the catch-all when e is not a catalog
+// entry). Catalog entries are handed out as &p.Extensions[i], so pointer
+// identity is the lookup key; the compact fileRef representation stores this
+// index instead of the pointer.
+func (p *Profile) extIndex(e *ExtProfile) uint16 {
+	for i := range p.Extensions {
+		if &p.Extensions[i] == e {
+			return uint16(i)
+		}
+	}
+	return uint16(len(p.Extensions) - 1)
+}
+
+// extIndexByName returns the catalog index whose Ext matches exactly, with
+// no catch-all fallback — callers that must reconstruct a name byte-for-byte
+// use the miss to fall back to whole-name interning.
+func (p *Profile) extIndexByName(ext string) (uint16, bool) {
+	for i := range p.Extensions {
+		if p.Extensions[i].Ext == ext {
+			return uint16(i), true
+		}
+	}
+	return 0, false
+}
+
+// extIndexLoose is extIndex keyed by name: the exact match when the catalog
+// has one, the catch-all otherwise — ExtByName's semantics as an index.
+func (p *Profile) extIndexLoose(ext string) uint16 {
+	if i, ok := p.extIndexByName(ext); ok {
+		return i
+	}
+	return uint16(len(p.Extensions) - 1)
+}
+
 // PickClass samples a user class with the §6.1 shares.
-func PickClass(r *rand.Rand) Class {
+func PickClass(r dist.Rand) Class {
 	u := r.Float64()
 	shares := ClassShares()
 	acc := 0.0

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"u1/internal/dist"
@@ -82,7 +81,7 @@ func (s *sessionRun) newBurst() {
 		// (the Fig. 10 correlation of 0.998).
 		u.seq++
 		if dir, err := u.cli.Mkdir(s.burstVol, s.burstDir, fmt.Sprintf("d%d-%d", u.id, u.seq)); err == nil {
-			u.dirs[s.burstVol] = append(u.dirs[s.burstVol], dir.ID)
+			u.addDir(s.burstVol, dir.ID)
 			s.burstDir = dir.ID
 		}
 	}
@@ -102,7 +101,7 @@ func (s *sessionRun) newBurst() {
 	s.burstLeft = k
 }
 
-func (s *sessionRun) pickAction(r *rand.Rand) action {
+func (s *sessionRun) pickAction(r dist.Rand) action {
 	u := s.u
 	p := r.Float64()
 	switch {
@@ -132,7 +131,7 @@ func (s *sessionRun) pickAction(r *rand.Rand) action {
 }
 
 // pickVolume prefers the root volume but exercises UDFs when present.
-func (s *sessionRun) pickVolume(r *rand.Rand) protocol.VolumeID {
+func (s *sessionRun) pickVolume(r dist.Rand) protocol.VolumeID {
 	u := s.u
 	root, ok := u.cli.RootVolume()
 	if !ok {
@@ -144,7 +143,7 @@ func (s *sessionRun) pickVolume(r *rand.Rand) protocol.VolumeID {
 	return root
 }
 
-func (s *sessionRun) pickDir(r *rand.Rand, vol protocol.VolumeID) protocol.NodeID {
+func (s *sessionRun) pickDir(r dist.Rand, vol protocol.VolumeID) protocol.NodeID {
 	dirs := s.u.dirs[vol]
 	if len(dirs) == 0 || r.Float64() < 0.35 {
 		return 0 // volume root
@@ -194,7 +193,7 @@ func (s *sessionRun) doUpload() {
 			// Unchanged content: dedup makes this transfer-free.
 			h, size = currentContent(u, f)
 		}
-		u.cli.UploadSized(f.vol, parentOf(u, f), f.name, h, size, wireSize(f.ext, size)) //nolint:errcheck
+		u.cli.UploadSized(f.vol, parentOf(u, f), f.fileName(u.sh), h, size, wireSize(f.extProfile(u.sh), size)) //nolint:errcheck
 		u.sh.totals.Uploads++
 		return
 	}
@@ -212,7 +211,7 @@ func (s *sessionRun) doUpload() {
 		u.seq++
 		h := protocol.HashBytes([]byte(fmt.Sprintf("u%d-v%d", u.id, u.seq)))
 		size := versionedSize(u, f, r)
-		u.cli.UploadSized(f.vol, parentOf(u, f), f.name, h, size, wireSize(f.ext, size)) //nolint:errcheck
+		u.cli.UploadSized(f.vol, parentOf(u, f), f.fileName(u.sh), h, size, wireSize(f.extProfile(u.sh), size)) //nolint:errcheck
 		u.sh.totals.Uploads++
 		return
 	}
@@ -231,7 +230,11 @@ func (s *sessionRun) doUpload() {
 		return
 	}
 	u.sh.totals.Uploads++
-	f := fileRef{vol: vol, node: node.ID, parent: dir, name: name, ext: ext, created: u.sh.eng.Now()}
+	// pickHash may have swapped ext for a popular catalog entry; the name was
+	// built from the post-swap ext, so one catalog index serves both roles.
+	idx := g.prof.extIndex(ext)
+	f := fileRef{vol: vol, node: node.ID, parent: dir,
+		uid: uint32(u.id), seq: uint32(u.seq), kind: 'f', ext: idx, nameExt: idx}
 	u.remember(f)
 	u.files = append(u.files, f)
 
@@ -245,7 +248,7 @@ func (s *sessionRun) doUpload() {
 		u.sh.eng.After(time.Duration(secs*float64(time.Second)), func() {
 			// Only within the same session: the paired device reacted to the
 			// push while this connection was alive.
-			if u.online && u.cli.Session() == sessionID {
+			if u.online && u.cli != nil && u.cli.Session() == sessionID {
 				if _, err := u.cli.Download(vol, nodeID); err == nil {
 					u.sh.totals.Downloads++
 				}
@@ -297,9 +300,7 @@ func (s *sessionRun) doDownload() {
 		if r.Float64() < 0.55 {
 			if m, ok := u.cli.Mirror(vol); ok {
 				if info, ok := m.Nodes[node]; ok {
-					u.remember(fileRef{vol: vol, node: node, parent: info.Parent,
-						name: info.Name, ext: s.g.prof.ExtByName(extFromName(info.Name)),
-						created: u.sh.eng.Now()})
+					u.remember(u.sh.fileRefFor(vol, node, info.Parent, info.Name))
 				}
 			}
 		}
@@ -353,7 +354,7 @@ func (s *sessionRun) doMkdir() {
 	if err != nil {
 		return
 	}
-	u.dirs[s.burstVol] = append(u.dirs[s.burstVol], node.ID)
+	u.addDir(s.burstVol, node.ID)
 }
 
 func (s *sessionRun) doMove() {
@@ -368,8 +369,11 @@ func (s *sessionRun) doMove() {
 	target := s.pickDir(r, f.vol)
 	name := fmt.Sprintf("m%d-%d", u.id, u.seq)
 	if _, err := u.cli.Move(f.vol, f.node, target, name); err == nil {
-		u.files[i].parent = target
-		u.files[i].name = name
+		// A move renames but keeps the content: re-derive the ref from the new
+		// name, then carry the pre-move extension profile over.
+		nf := u.sh.fileRefFor(f.vol, f.node, target, name)
+		nf.ext = f.ext
+		u.files[i] = nf
 	}
 }
 
@@ -384,7 +388,6 @@ func (s *sessionRun) doUDF() {
 	}
 	u.udfs++
 	u.udfVols = append(u.udfVols, v.ID)
-	u.dirs[v.ID] = nil
 }
 
 func (s *sessionRun) doShare() {
@@ -427,7 +430,7 @@ func (s *sessionRun) doDeleteVolume() {
 }
 
 // pickFile picks a uniform index into the user's live file list.
-func (s *sessionRun) pickFile(r *rand.Rand) (int, bool) {
+func (s *sessionRun) pickFile(r dist.Rand) (int, bool) {
 	if len(s.u.files) == 0 {
 		return 0, false
 	}
@@ -462,7 +465,9 @@ func (u *user) dropFile(node protocol.NodeID) {
 	}
 }
 
-// remember appends to the recent-file window (bounded per user class).
+// remember appends to the recent-file window (bounded per user class). It is
+// the single append site for u.recent in the whole package, so the cap below
+// is the invariant — audited; every other mutation only removes entries.
 func (u *user) remember(f fileRef) {
 	u.recent = append(u.recent, f)
 	cap := u.recentCap
@@ -520,7 +525,7 @@ func biasSize(size uint64, bias float64) uint64 {
 	return out
 }
 
-func sampleSize(ext *ExtProfile, r *rand.Rand) uint64 {
+func sampleSize(ext *ExtProfile, r dist.Rand) uint64 {
 	s := ext.Size.Sample(r)
 	if s < 1 {
 		s = 1
@@ -535,10 +540,10 @@ func sampleSize(ext *ExtProfile, r *rand.Rand) uint64 {
 // versionedSize sizes a new version of an existing file: close to its
 // current size (a tag edit re-sends the whole multi-MB file, §5.1), which is
 // what makes updates carry 18.5% of upload bytes at 10% of upload ops.
-func versionedSize(u *user, f fileRef, r *rand.Rand) uint64 {
+func versionedSize(u *user, f fileRef, r dist.Rand) uint64 {
 	cur := sizeOf(u, f)
 	if cur == 0 {
-		return sampleSize(f.ext, r)
+		return sampleSize(f.extProfile(u.sh), r)
 	}
 	factor := 0.85 + 0.3*r.Float64()
 	size := uint64(float64(cur) * factor)

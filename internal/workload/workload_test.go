@@ -226,7 +226,7 @@ func TestThinningAcceptsFinalAttempt(t *testing.T) {
 	g := New(Config{Users: 1, Days: 30, Seed: 5, Workers: 1, Profile: p, Attacks: []Attack{}}, cluster)
 	u := &user{
 		id:  1,
-		rng: rand.New(rand.NewSource(9)),
+		rng: newURng(9, false),
 		sh:  g.shards[0],
 		par: params(Heavy),
 		// Mean gaps of ~17ms keep all 1000 thinning draws pinned to the
@@ -339,7 +339,7 @@ func TestSessionLengthShape(t *testing.T) {
 	// 32% < 1 s and ≈97% < 8 h (§7.3).
 	p := DefaultProfile()
 	g := &Generator{prof: p}
-	u := &user{rng: rand.New(rand.NewSource(9))}
+	u := &user{rng: newURng(9, false)}
 	var sub1s, sub8h, n int
 	for i := 0; i < 30000; i++ {
 		l := g.sessionLength(u)
@@ -423,5 +423,36 @@ func TestTraceRoundTripFromGenerator(t *testing.T) {
 		if n < 0 {
 			t.Errorf("session %d closed more than opened", sess)
 		}
+	}
+}
+
+func TestRecentWindowCappedForWhales(t *testing.T) {
+	// Whale regression: over a long window the heaviest users churn through
+	// far more files than their recent-window cap, so any append site that
+	// bypassed remember's trim would grow without bound. remember is the
+	// single append site (audited — every other mutation only removes
+	// entries), and this run would catch a regression of that invariant.
+	g, _, _ := runSmall(t, 120, 10, []Attack{}, 9)
+	var whales, capped int
+	for _, u := range g.users {
+		limit := u.recentCap
+		if limit < 64 {
+			limit = 64
+		}
+		if len(u.recent) > limit {
+			t.Fatalf("user %d holds %d recent files, cap %d", u.id, len(u.recent), limit)
+		}
+		if u.recentCap > 64 {
+			whales++
+		}
+		if len(u.recent) == limit {
+			capped++
+		}
+	}
+	if whales == 0 {
+		t.Fatal("no user drew a whale-sized recent cap; population too small to exercise the invariant")
+	}
+	if capped == 0 {
+		t.Fatal("no user ever filled its recent window; the cap was never exercised")
 	}
 }
