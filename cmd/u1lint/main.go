@@ -1,0 +1,60 @@
+// Command u1lint runs the repo's contract-enforcing static analysis passes
+// (internal/lint) over module packages and prints one `file:line: [pass]
+// message` diagnostic per finding. It exits 0 when the tree is clean, 1 on
+// any finding, and 2 when a package fails to load or type-check. The CI lint
+// job runs `go run ./cmd/u1lint ./...` as a required step.
+//
+// Usage:
+//
+//	u1lint [-list] [pattern ...]
+//
+// Patterns follow the go tool's shape: `dir/...` walks recursively (skipping
+// testdata), a plain directory names one package. The default is `./...`.
+// Naming a testdata fixture directory explicitly lints it — that is how the
+// golden tests and humans reproduce fixture diagnostics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"u1/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered passes and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-15s (allow: %s) %s\n", p.Name, p.Allow, p.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "u1lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "u1lint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "u1lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -148,11 +148,12 @@ func AnalyzeLoadBalance(t *Trace) LoadBalance {
 	}
 	res.Servers = len(perServer)
 	if res.Servers >= 2 {
+		servers := sortedKeys(perServer)
 		var covs []float64
 		for h := 0; h < hours; h++ {
 			var col []float64
-			for _, row := range perServer {
-				col = append(col, row[h])
+			for _, sv := range servers {
+				col = append(col, perServer[sv][h])
 			}
 			if stats.Sum(col) > 0 {
 				covs = append(covs, stats.CoefVar(col))

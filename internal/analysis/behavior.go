@@ -242,7 +242,8 @@ func AnalyzeVolumes(t *Trace) Volumes {
 
 	var files, dirs []float64
 	var over1000, withFiles, withDirs int
-	for _, c := range perVolume {
+	for _, vol := range sortedKeys(perVolume) {
+		c := perVolume[vol]
 		f, d := c.files, c.dirs
 		if f < 0 {
 			f = 0
@@ -275,7 +276,7 @@ func AnalyzeVolumes(t *Trace) Volumes {
 	}
 	var udfCounts, shareCounts []float64
 	var withUDF, withShare int
-	for u := range users {
+	for _, u := range sortedKeys(users) {
 		if n := udfs[u]; n > 0 {
 			withUDF++
 			udfCounts = append(udfCounts, n)

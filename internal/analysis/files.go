@@ -117,8 +117,8 @@ func AnalyzeDependencies(t *Trace) Dependencies {
 	}
 	res.WAWUnderHour = res.WAW.At(3600)
 	counts := make([]float64, 0, len(downloads))
-	for _, n := range downloads {
-		counts = append(counts, n)
+	for _, f := range sortedKeys(downloads) {
+		counts = append(counts, downloads[f])
 	}
 	res.DownloadsPerFile = stats.NewCDF(counts)
 	res.DyingFiles = dying
@@ -272,7 +272,8 @@ func AnalyzeDedup(t *Trace) Dedup {
 	var unique, logical float64
 	var singles int
 	counts := make([]float64, 0, len(refs))
-	for h, n := range refs {
+	for _, h := range sortedKeys(refs) {
+		n := refs[h]
 		counts = append(counts, n)
 		unique += float64(size[h])
 		logical += float64(size[h]) * n

@@ -1,0 +1,19 @@
+package analysis
+
+import (
+	"cmp"
+	"sort"
+)
+
+// sortedKeys returns m's keys in ascending order. The report builders
+// accumulate floats per key; visiting entries in map range order would
+// perturb the sums at the ulp level from run to run, so every such loop
+// iterates a sorted key list instead.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -192,7 +192,8 @@ func AnalyzeUserTraffic(t *Trace) UserTraffic {
 	var ups, downs, totals []float64
 	var withUp, withDown int
 	classes := map[string]int{}
-	for _, d := range perUser {
+	for _, u := range sortedKeys(perUser) {
+		d := perUser[u]
 		if d.up > 0 {
 			ups = append(ups, d.up)
 			withUp++

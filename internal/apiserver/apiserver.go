@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"path"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -457,6 +458,9 @@ func (s *Server) pushLocal(user protocol.UserID, exclude protocol.SessionID, pus
 		}
 	}
 	s.mu.RUnlock()
+	// Deliver in ascending session order: push arrival order is observable
+	// client state and must not depend on map iteration.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
 	for _, sess := range targets {
 		if sess.pusher != nil {
 			sess.pusher.Push(push)

@@ -89,6 +89,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	var sess *Session
 	defer func() {
 		if sess != nil {
+			//u1:allow wallclock real TCP transport stamps session close with host time
 			s.CloseSession(sess, time.Now())
 		}
 	}()
@@ -105,6 +106,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		//u1:allow wallclock real TCP transport stamps requests with host time
 		now := time.Now()
 
 		var resp *protocol.Response

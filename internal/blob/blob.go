@@ -15,6 +15,7 @@ package blob
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -186,6 +187,7 @@ func New(cfg Config) *Store {
 // PutObject stores data under key in one shot (used for contents at or below
 // one part).
 func (s *Store) PutObject(key string, data []byte) error {
+	//u1:allow wallclock measures real blob-path execution time; observability only, never simulation state
 	start := time.Now()
 	s.mu.Lock()
 	s.putLocked(key, uint64(len(data)), data)
@@ -197,6 +199,7 @@ func (s *Store) PutObject(key string, data []byte) error {
 // PutObjectSized stores a size-only object (metered mode helper for the
 // simulator, which never materializes contents).
 func (s *Store) PutObjectSized(key string, size uint64) error {
+	//u1:allow wallclock measures real blob-path execution time; observability only, never simulation state
 	start := time.Now()
 	s.mu.Lock()
 	s.putLocked(key, size, nil)
@@ -208,6 +211,7 @@ func (s *Store) PutObjectSized(key string, size uint64) error {
 func (s *Store) recordPut(size uint64, start time.Time) {
 	s.m.putBytes.Add(size)
 	s.m.objectBytes.Observe(float64(size))
+	//u1:allow wallclock measures real blob-path execution time; observability only, never simulation state
 	s.m.putSeconds.Observe(time.Since(start).Seconds())
 }
 
@@ -233,6 +237,7 @@ func (s *Store) putLocked(key string, size uint64, data []byte) {
 // GetObject returns the object's bytes. In metered mode it synthesizes
 // deterministic pseudo-content of the recorded size.
 func (s *Store) GetObject(key string) ([]byte, error) {
+	//u1:allow wallclock measures real blob-path execution time; observability only, never simulation state
 	start := time.Now()
 	s.mu.Lock()
 	obj, ok := s.loadObject(key)
@@ -250,6 +255,7 @@ func (s *Store) GetObject(key string) ([]byte, error) {
 	}
 	s.mu.Unlock()
 	s.m.getBytes.Add(obj.size)
+	//u1:allow wallclock measures real blob-path execution time; observability only, never simulation state
 	s.m.getSeconds.Observe(time.Since(start).Seconds())
 	return out, nil
 }
@@ -376,6 +382,7 @@ func (s *Store) AbandonedUploads(cutoff time.Time) []string {
 			ids = append(ids, id)
 		}
 	}
+	sort.Strings(ids)
 	return ids
 }
 

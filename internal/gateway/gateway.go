@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -263,6 +264,7 @@ func rootLess(a, b *backendSlot) bool {
 // broken deterministically by name, so tests are stable); with several it is
 // the less-loaded of two randomly sampled shard roots.
 func (b *Balancer) Acquire() (Lease, error) {
+	//u1:allow wallclock placement latency measured in host time; observability only
 	start := time.Now()
 	var lease Lease
 	if len(b.shards) == 1 {
@@ -284,6 +286,7 @@ func (b *Balancer) Acquire() (Lease, error) {
 	m := b.m.Load()
 	m.placed.Inc()
 	m.activeConns.Inc()
+	//u1:allow wallclock placement latency measured in host time; observability only
 	m.placeSeconds.Observe(time.Since(start).Seconds())
 	return lease, nil
 }
@@ -411,6 +414,9 @@ func NewShardedProxy(shards int, backends map[string]string) *Proxy {
 	for name := range backends {
 		names = append(names, name)
 	}
+	// Sorted so the balancer's shard assignment (name order decides which
+	// shard each backend heap lands in) is reproducible across runs.
+	sort.Strings(names)
 	return &Proxy{
 		balancer: NewShardedBalancer(shards, names...),
 		backends: backends,

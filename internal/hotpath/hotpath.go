@@ -117,14 +117,17 @@ func Measure(ops int) map[string]metrics.HotPathStats {
 // run times ops executions of op single-threaded, then the same total split
 // across workers goroutines, and folds both into HotPathStats.
 func run(ops, workers int, op func()) metrics.HotPathStats {
+	//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 	start := time.Now()
 	for i := 0; i < ops; i++ {
 		op()
 	}
+	//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 	serial := time.Since(start)
 
 	var wg sync.WaitGroup
 	per := ops / workers
+	//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 	start = time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -136,6 +139,7 @@ func run(ops, workers int, op func()) metrics.HotPathStats {
 		}()
 	}
 	wg.Wait()
+	//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 	parallel := time.Since(start)
 
 	st := metrics.HotPathStats{Workers: workers}
@@ -241,6 +245,7 @@ func MeasureDurability(dir string, ops int) (metrics.DurabilityStats, error) {
 		if err != nil {
 			return st, err
 		}
+		//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 		start := time.Now()
 		for i := 0; i < ops; i++ {
 			if _, err := log.Append(payload); err != nil {
@@ -248,6 +253,7 @@ func MeasureDurability(dir string, ops int) (metrics.DurabilityStats, error) {
 				return st, err
 			}
 		}
+		//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 		elapsed := time.Since(start)
 		appends, syncs := log.Stats()
 		if err := log.Close(); err != nil {
@@ -272,8 +278,10 @@ func generationRate(users, days, shards int) float64 {
 		Users: users, Days: days, Seed: 10, Workers: shards,
 		Attacks: []workload.Attack{},
 	}, cluster)
+	//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 	start := time.Now()
 	g.Run()
+	//u1:allow wallclock hotpath benchmarks measure real execution speed by design
 	wall := time.Since(start)
 	if wall <= 0 {
 		return 0

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The lockdiscipline pass protects the lock-hold observability from PR 1:
+// metadata shards expose rlock()/runlock()/wlock()/wunlock() accessors that
+// count acquisitions and feed the meta.shard.<i>.{read,write}_hold.seconds
+// histograms. A direct `.mu.Lock()` or `.mu.RLock()` on such a type acquires
+// the lock invisibly — the capacity model under-counts contention exactly
+// where it matters. The pass applies to any type whose method set defines
+// both rlock and wlock accessors (so it generalizes past the one shard type
+// without hard-coding it), and skips the accessor bodies themselves.
+// Deliberate bypasses — maintenance sweeps, crash drills, fingerprinting —
+// carry `//u1:allow lockdiscipline <reason>`.
+
+var lockdisciplinePass = &Pass{
+	Name:  "lockdiscipline",
+	Allow: "lockdiscipline",
+	Doc:   "no direct .mu.Lock()/.mu.RLock() on types with rlock()/wlock() accessors",
+	Run:   runLockdiscipline,
+}
+
+// lockAccessors are the accessor method names whose bodies legitimately touch
+// the mutex directly.
+var lockAccessors = map[string]bool{
+	"rlock": true, "runlock": true, "wlock": true, "wunlock": true,
+}
+
+func runLockdiscipline(p *Package, report reportFunc) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lockAccessors[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok || inner.Sel.Name != "mu" {
+					return true
+				}
+				tv, ok := p.Info.Types[inner.X]
+				if !ok {
+					return true
+				}
+				named := namedType(tv.Type)
+				if named == nil || !hasLockAccessors(named) {
+					return true
+				}
+				report(call, "direct %s.mu.%s on %s bypasses the rlock()/wlock() accessors and their lock-hold histograms; use the accessors, or annotate `//u1:allow lockdiscipline <reason>`",
+					types.ExprString(inner.X), sel.Sel.Name, named.Obj().Name())
+				return true
+			})
+		}
+	}
+}
+
+// hasLockAccessors reports whether *named defines both rlock and wlock (the
+// accessors are unexported, so the lookup is scoped to the type's package).
+func hasLockAccessors(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	pkg := named.Obj().Pkg()
+	return ms.Lookup(pkg, "rlock") != nil && ms.Lookup(pkg, "wlock") != nil
+}

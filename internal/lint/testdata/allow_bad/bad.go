@@ -1,0 +1,18 @@
+// Package allowbad carries every class of broken u1:allow annotation: the
+// framework reports each one, so exemptions cannot rot silently.
+package allowbad
+
+//u1:allowx
+var A = 1 // want-above: allow: malformed u1:allow annotation
+
+//u1:allow
+var B = 2 // want-above: allow: missing a rule
+
+//u1:allow nosuchrule because reasons
+var C = 3 // want-above: allow: unknown rule nosuchrule
+
+//u1:allow wallclock
+var D = 4 // want-above: allow: has no reason
+
+//u1:allow maporder this annotation suppresses nothing
+var E = 5 // want-above: allow: stale u1:allow maporder annotation

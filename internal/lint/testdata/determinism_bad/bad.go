@@ -1,0 +1,37 @@
+// Package detbad violates the determinism contract in every way the pass
+// recognizes: wall-clock reads, host-clock sleeps, and global math/rand
+// draws. The golden test loads it under a u1/internal/ path so the pass
+// applies, and once under u1/internal/sim to check the sharper message.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want: determinism: time.Now
+}
+
+// Wait sleeps on the host clock and measures elapsed host time.
+func Wait(d time.Duration) time.Duration {
+	start := time.Now()      // want: determinism: time.Now
+	time.Sleep(d)            // want: determinism: time.Sleep
+	return time.Since(start) // want: determinism: time.Since
+}
+
+// Draw uses the global math/rand source.
+func Draw() int {
+	return rand.Intn(6) // want: determinism: global math/rand draw rand.Intn
+}
+
+// Seeded builds a seeded source: the sanctioned pattern, not a finding.
+func Seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// Convert is pure time arithmetic, not a clock read.
+func Convert(ns int64) time.Time {
+	return time.Unix(0, ns)
+}

@@ -1,0 +1,34 @@
+// Package detclean exercises the sanctioned shapes the determinism pass must
+// not flag: annotated measurement sites (standalone and trailing forms),
+// pure time conversions, and seeded rand constructors.
+package detclean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// HoldSeconds measures real elapsed time behind standalone annotations.
+func HoldSeconds() float64 {
+	//u1:allow wallclock lock-hold measurement on the host clock
+	start := time.Now()
+	work()
+	//u1:allow wallclock lock-hold measurement on the host clock
+	return time.Since(start).Seconds()
+}
+
+// Trailing exercises the same-line annotation form.
+func Trailing() time.Time {
+	return time.Now() //u1:allow wallclock real-transport timestamp
+}
+
+func work() {}
+
+// Convert is pure time arithmetic: no clock read, no finding.
+func Convert(ns int64) time.Time { return time.Unix(0, ns) }
+
+// Draw uses a seeded, caller-owned source: the sanctioned pattern.
+func Draw(r *rand.Rand) int { return r.Intn(6) }
+
+// Seeded builds the source the contract wants.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

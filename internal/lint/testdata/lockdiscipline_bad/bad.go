@@ -1,0 +1,30 @@
+// Package lockbad takes a shard's mutex directly even though the type defines
+// the instrumented rlock()/wlock() accessors — the exact bypass that makes
+// lock-hold histograms under-count contention.
+package lockbad
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *shard) rlock() int  { s.mu.RLock(); return 0 }
+func (s *shard) runlock(int) { s.mu.RUnlock() }
+func (s *shard) wlock() int  { s.mu.Lock(); return 0 }
+func (s *shard) wunlock(int) { s.mu.Unlock() }
+
+// Read takes the read lock directly, invisible to the hold histograms.
+func Read(s *shard) int {
+	s.mu.RLock() // want: lockdiscipline: direct s.mu.RLock on shard
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Write takes the write lock directly.
+func Write(s *shard, v int) {
+	s.mu.Lock() // want: lockdiscipline: direct s.mu.Lock on shard
+	s.n = v
+	s.mu.Unlock()
+}

@@ -1,0 +1,44 @@
+// Package lockclean exercises the lock shapes the lockdiscipline pass must
+// not flag: accessor use, annotated maintenance bypasses, accessor bodies
+// themselves, and plain types without accessors.
+package lockclean
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// The accessor bodies legitimately touch the mutex directly.
+func (s *shard) rlock() int  { s.mu.RLock(); return 0 }
+func (s *shard) runlock(int) { s.mu.RUnlock() }
+func (s *shard) wlock() int  { s.mu.Lock(); return 0 }
+func (s *shard) wunlock(int) { s.mu.Unlock() }
+
+// Read goes through the accessors.
+func Read(s *shard) int {
+	defer s.runlock(s.rlock())
+	return s.n
+}
+
+// Sweep is a sanctioned maintenance bypass.
+func Sweep(s *shard) {
+	//u1:allow lockdiscipline maintenance sweep, not client load
+	s.mu.Lock()
+	s.n = 0
+	s.mu.Unlock()
+}
+
+// plain has a mutex but no accessors: direct locking is the normal idiom.
+type plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump locks a plain type directly; no accessors exist to bypass.
+func Bump(p *plain) {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}

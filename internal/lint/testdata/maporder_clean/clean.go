@@ -1,0 +1,62 @@
+// Package mapclean exercises the map-range shapes the maporder pass must not
+// flag: collect-then-sort, order-independent aggregation, loop-local targets,
+// and annotated deliberate leaks.
+package mapclean
+
+import "sort"
+
+// Keys is the sanctioned collect-then-sort idiom.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Tail sorts through a slice expression: sort.Slice(out[1:], …) still
+// sanctions appends to out.
+func Tail(m map[string]int) []string {
+	out := []string{"header"}
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out[1:])
+	return out
+}
+
+// Sum is order-independent aggregation: no sink.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type row struct{ vals []int }
+
+// Local appends to a field of a struct created inside the loop: the order
+// never outlives the iteration.
+func Local(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		r := row{}
+		for _, v := range vs {
+			r.vals = append(r.vals, v)
+		}
+		n += len(r.vals)
+	}
+	return n
+}
+
+// Annotated is a deliberate, documented leak.
+func Annotated(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		//u1:allow maporder feeds an order-insensitive membership set downstream
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package nameclean mints only documented series, including names folded
+// from constants, concatenation, single-assignment locals, and dynamic
+// segments in the grammar's * positions.
+package nameclean
+
+import (
+	"strconv"
+
+	"u1/internal/metrics"
+)
+
+// Register mints documented series.
+func Register(reg *metrics.Registry, shard int) {
+	reg.Counter("wal.appends")
+	reg.Gauge("api.sessions.active")
+	reg.Histogram("blob.put.seconds")
+	name := "meta.shard." + strconv.Itoa(shard) + ".reads"
+	reg.Counter(name)
+	reg.Histogram("meta.shard." + strconv.Itoa(shard) + ".read_hold.seconds")
+}
+
+// Experimental is a deliberate off-grammar series, annotated.
+func Experimental(reg *metrics.Registry) {
+	//u1:allow metricname experimental series, not part of the benchmark surface
+	reg.Counter("x.experimental")
+}
+
+// Dynamic names whose first segment is unresolvable are out of scope.
+func Dynamic(reg *metrics.Registry, prefix string) {
+	reg.Counter(prefix + ".count")
+}

@@ -288,6 +288,7 @@ func (s *Store) Close() error {
 	}
 	var firstErr error
 	for _, sh := range s.shards {
+		//u1:allow lockdiscipline final snapshot at Close is maintenance, not a DAL op; op counters track client load only
 		sh.mu.Lock()
 		s.snapshotShardLocked(sh)
 		if err := s.dur.shards[sh.id].journal.Close(); err != nil && firstErr == nil {
@@ -317,6 +318,7 @@ func (s *Store) ShardWALDir(i int) string {
 // drill restarts it in place.
 func (s *Store) CrashShard(i int) {
 	sh := s.shards[i]
+	//u1:allow lockdiscipline crash drill wipes shard state outside the DAL path
 	sh.mu.Lock()
 	sh.users = make(map[protocol.UserID]*userRow)
 	sh.volumes = make(map[protocol.VolumeID]*volumeRow)
@@ -338,6 +340,7 @@ func (s *Store) RecoverShard(i int) error {
 		return fmt.Errorf("metadata: shard recovery requires a durable store")
 	}
 	sh := s.shards[i]
+	//u1:allow lockdiscipline recovery is maintenance; hold histograms track client load only
 	sh.mu.Lock()
 	err := s.loadShard(i)
 	sh.mu.Unlock()
@@ -355,6 +358,7 @@ func (s *Store) RecoverShard(i int) error {
 // excluded (transient, never journaled).
 func (s *Store) ShardFingerprint(i int) string {
 	sh := s.shards[i]
+	//u1:allow lockdiscipline fingerprinting is a drill probe, not client load
 	sh.mu.RLock()
 	snap := snapshotState(sh)
 	sh.mu.RUnlock()
@@ -454,10 +458,14 @@ func restoreSnapshot(sh *shard, snap *shardSnapshot) {
 		}
 		sh.users[us.ID] = u
 	}
-	// Owned-volume lists derive from volume ownership.
-	for id, vr := range sh.volumes {
-		if u, ok := sh.users[vr.info.Owner]; ok {
-			u.addVolume(id)
+	// Owned-volume lists derive from volume ownership. Walk the snapshot's
+	// volume list (already in ascending-ID order) rather than the map just
+	// rebuilt from it, so the per-user volume lists come back in the same
+	// order on every recovery.
+	for i := range snap.Volumes {
+		vs := &snap.Volumes[i]
+		if u, ok := sh.users[vs.Info.Owner]; ok {
+			u.addVolume(vs.Info.ID)
 		}
 	}
 }
@@ -625,6 +633,7 @@ func (s *Store) rebuildDerived() {
 	contents := newContentRegistry()
 	s.volumeDir.clear()
 	for _, sh := range s.shards {
+		//u1:allow lockdiscipline derived-state rebuild after recovery, not client load
 		sh.mu.RLock()
 		for id, vr := range sh.volumes {
 			s.volumeDir.store(id, vr.info.Owner)

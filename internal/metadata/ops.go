@@ -288,10 +288,21 @@ func (s *Store) DeleteVolume(user protocol.UserID, vol protocol.VolumeID) (remov
 		for _, shareID := range grantees {
 			shareIDs = append(shareIDs, shareID)
 		}
+		sort.Slice(shareIDs, func(i, j int) bool { return shareIDs[i] < shareIDs[j] })
 		s.revokeCrossRegion(s.RegionOf(s.ShardFor(owner)), shareIDs)
 	}
 
-	for grantee, shareID := range grantees {
+	// Grantee cleanup walks in ascending user order: every iteration journals
+	// a drop_share record in the grantee's shard, and the replication stream
+	// publishes journal records in apply order, so the iteration order here is
+	// cross-region-observable state.
+	granteeIDs := make([]protocol.UserID, 0, len(grantees))
+	for grantee := range grantees {
+		granteeIDs = append(granteeIDs, grantee)
+	}
+	sort.Slice(granteeIDs, func(i, j int) bool { return granteeIDs[i] < granteeIDs[j] })
+	for _, grantee := range granteeIDs {
+		shareID := grantees[grantee]
 		gsh := s.shardOf(grantee)
 		if gsh == sh {
 			continue // already cleaned while holding sh
@@ -525,15 +536,20 @@ func (s *Store) Unlink(user protocol.UserID, vol protocol.VolumeID, node protoco
 		sh.wunlock(lockedAt)
 		return nil, 0, nil, fmt.Errorf("%w: cannot unlink the volume root", protocol.ErrBadRequest)
 	}
-	// Depth-first collection of the subtree.
+	// Depth-first collection of the subtree, children in ascending-ID order:
+	// the removed list lands in the delta log and the unlink journal record,
+	// so the traversal order is replay- and replication-observable.
 	stack := []protocol.NodeID{node}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		cur := sh.nodes[id]
+		kids := make([]protocol.NodeID, 0, len(cur.children))
 		for _, child := range cur.children {
-			stack = append(stack, child)
+			kids = append(kids, child)
 		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		stack = append(stack, kids...)
 		removed = append(removed, cur.info(id))
 		delete(sh.nodes, id)
 	}
@@ -797,18 +813,24 @@ func (s *Store) AcceptShare(user protocol.UserID, id protocol.ShareID) (protocol
 // transaction.
 func lockPair(a, b *shard) time.Time {
 	if a == b {
+		//u1:allow lockdiscipline cross-shard accessor locks in id order to avoid deadlock; hold is charged in unlockPair
 		a.mu.Lock()
+		//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 		return time.Now()
 	}
 	if a.id > b.id {
 		a, b = b, a
 	}
+	//u1:allow lockdiscipline cross-shard accessor locks in id order to avoid deadlock; hold is charged in unlockPair
 	a.mu.Lock()
+	//u1:allow lockdiscipline cross-shard accessor locks in id order to avoid deadlock; hold is charged in unlockPair
 	b.mu.Lock()
+	//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 	return time.Now()
 }
 
 func unlockPair(a, b *shard, start time.Time) {
+	//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 	hold := time.Since(start)
 	if a == b {
 		a.mu.Unlock()

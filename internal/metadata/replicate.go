@@ -246,6 +246,7 @@ func (s *Store) CollectReplication() []ReplicationBatch {
 	var out []ReplicationBatch
 	perShard := make([][]journalRecord, len(s.shards))
 	for i, sh := range s.shards {
+		//u1:allow lockdiscipline outbox drain is the replication tick, not a DAL op
 		sh.mu.Lock()
 		if len(r.outbox[i]) > 0 {
 			perShard[i] = r.outbox[i]
@@ -321,6 +322,7 @@ func (r *replication) refreshBacklogGaugeLocked() {
 func (r *replication) applyLocked(st *regionState, rr replRecord) {
 	sh := st.replicas[rr.shard]
 	origin := r.regionOf(rr.shard)
+	//u1:allow lockdiscipline replica shards are not client-facing; the apply path has its own metrics
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	rec := rr.rec
@@ -496,9 +498,11 @@ func (s *Store) RegionRecover(region, from int) {
 			continue
 		}
 		replica := peer.replicas[i]
+		//u1:allow lockdiscipline region drill reads the replica wholesale, not client load
 		replica.mu.RLock()
 		snap := snapshotState(replica)
 		replica.mu.RUnlock()
+		//u1:allow lockdiscipline region drill restores owner state wholesale, not client load
 		sh.mu.Lock()
 		sh.users = make(map[protocol.UserID]*userRow)
 		sh.volumes = make(map[protocol.VolumeID]*volumeRow)
@@ -526,6 +530,7 @@ func (s *Store) ReplicaFingerprint(region, i int) string {
 	r.mu.RLock()
 	sh := r.state[region].replicas[i]
 	r.mu.RUnlock()
+	//u1:allow lockdiscipline fingerprinting is a drill probe, not client load
 	sh.mu.RLock()
 	snap := snapshotState(sh)
 	sh.mu.RUnlock()

@@ -20,6 +20,7 @@ package metadata
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -454,15 +455,19 @@ func (v *volumeRow) addGrant(to protocol.UserID, id protocol.ShareID) {
 // id in the volume, root included. makeNode always attaches new nodes under
 // an existing parent and unlink removes whole subtrees, so the walk reaches
 // every live node — which is what lets volumeRow skip maintaining a separate
-// per-volume node set (measurable memory at millions of volumes). Callers
-// needing a stable order must sort, exactly as they had to for the old set.
+// per-volume node set (measurable memory at millions of volumes). Children
+// are visited in ascending NodeID order, so the breadth-first result is
+// deterministic and safe to feed journals and fingerprints directly.
 func volumeNodeIDs(sh *shard, v *volumeRow) []protocol.NodeID {
 	ids := append(make([]protocol.NodeID, 0, 8), v.root)
 	for i := 0; i < len(ids); i++ {
 		if nr, ok := sh.nodes[ids[i]]; ok {
+			kids := make([]protocol.NodeID, 0, len(nr.children))
 			for _, child := range nr.children {
-				ids = append(ids, child)
+				kids = append(kids, child)
 			}
+			sort.Slice(kids, func(a, b int) bool { return kids[a] < kids[b] })
+			ids = append(ids, kids...)
 		}
 	}
 	return ids
@@ -519,10 +524,15 @@ func (s *shard) writeOp() { s.m.writes.Inc() }
 func (sh *shard) rlock() time.Time {
 	sh.readOp()
 	sh.mu.RLock()
+	// Virtual time is frozen while a goroutine holds a lock, so only the host
+	// clock can measure contention; the hold histograms are observability
+	// only and never feed simulation state.
+	//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 	return time.Now()
 }
 
 func (sh *shard) runlock(start time.Time) {
+	//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 	hold := time.Since(start)
 	sh.mu.RUnlock()
 	sh.m.readHold.Observe(hold.Seconds())
@@ -532,10 +542,12 @@ func (sh *shard) runlock(start time.Time) {
 func (sh *shard) wlock() time.Time {
 	sh.writeOp()
 	sh.mu.Lock()
+	//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 	return time.Now()
 }
 
 func (sh *shard) wunlock(start time.Time) {
+	//u1:allow wallclock lock-hold measurement; virtual time cannot observe contention
 	hold := time.Since(start)
 	sh.mu.Unlock()
 	sh.m.writeHold.Observe(hold.Seconds())

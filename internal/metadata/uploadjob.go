@@ -135,6 +135,7 @@ func (s *Store) SweepUploadJobs(now time.Time) int {
 	for _, sh := range s.shards {
 		// Maintenance sweep, not a DAL op: lock directly so the per-shard
 		// write counters keep measuring client load only.
+		//u1:allow lockdiscipline maintenance sweep; write counters keep measuring client load only
 		sh.mu.Lock()
 		for id, job := range sh.uploadjobs {
 			if now.Sub(job.TouchedAt) > UploadJobMaxAge {

@@ -10,6 +10,7 @@ package notify
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -158,11 +159,18 @@ func (b *Broker) Unregister(server string) {
 }
 
 // rebuildLocked refreshes the immutable fan-out snapshot; callers hold the
-// write lock.
+// write lock. The snapshot is ordered by subscriber name so every fan-out
+// visits servers in the same order — delivery interleaving is part of the
+// deterministic-replay surface.
 func (b *Broker) rebuildLocked() {
-	list := make([]*subscriber, 0, len(b.subs))
-	for _, q := range b.subs {
-		list = append(list, q)
+	names := make([]string, 0, len(b.subs))
+	for name := range b.subs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	list := make([]*subscriber, 0, len(names))
+	for _, name := range names {
+		list = append(list, b.subs[name])
 	}
 	b.list = list
 }
@@ -243,7 +251,8 @@ func (b *Broker) Stats() Counters {
 	}
 }
 
-// Subscribers returns the names of registered servers, for diagnostics.
+// Subscribers returns the sorted names of registered servers, for
+// diagnostics.
 func (b *Broker) Subscribers() []string {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -251,5 +260,6 @@ func (b *Broker) Subscribers() []string {
 	for name := range b.subs {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -7,6 +7,7 @@ package plot
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"u1/internal/stats"
@@ -55,13 +56,7 @@ func MultiLine(title string, series map[string][]float64, width, height int) str
 		names = append(names, name)
 	}
 	// Deterministic legend order.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	var lo, hi = math.Inf(1), math.Inf(-1)
 	cols := make(map[string][]float64, len(series))
 	for _, name := range names {
@@ -111,13 +106,7 @@ func CDF(title string, curves map[string]*stats.CDF, width int) string {
 	for name := range curves {
 		names = append(names, name)
 	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	var b strings.Builder
 	b.WriteString(title + "\n")
 	for _, name := range names {

@@ -250,6 +250,7 @@ func (s *Server) call(op protocol.RPC, user protocol.UserID, now time.Time, cost
 		o(span)
 	}
 	if s.cfg.RealSleep {
+		//u1:allow wallclock RealSleep mode plays simulated service time on the host clock for the TCP harness
 		time.Sleep(service)
 	}
 }
